@@ -1,0 +1,59 @@
+"""Ablation: inter-node bridge credit depth vs tunnel throughput.
+
+The bridge's credit-based flow control (Sec. 3.1, stage 3) bounds the
+packets in flight per (destination, channel).  Too few credits and the
+PCIe round trip of the credit-return read dominates; enough credits and
+the tunnel streams at link rate.
+"""
+
+from repro.analysis import render_table
+from repro.engine import Simulator
+from repro.interconnect import InterNodeBridge, PcieFabric
+from repro.noc import MsgClass, NocChannel, NodeNetwork, Packet, TileAddr
+
+BURST = 120
+
+
+def drain_time(credits: int) -> int:
+    sim = Simulator()
+    fabric = PcieFabric(sim, "fabric", {0: 0, 1: 1})
+    networks = []
+    delivered = []
+    for node in (0, 1):
+        net = NodeNetwork(sim, f"n{node}", node, 2)
+        for tile in range(2):
+            for channel in NocChannel:
+                net.register_endpoint(tile, channel,
+                                      lambda p: delivered.append(p))
+        InterNodeBridge(sim, f"b{node}", node, fabric, net, credits=credits)
+        networks.append(net)
+    for _ in range(BURST):
+        networks[0].inject(
+            Packet(src=TileAddr(0, 0), dst=TileAddr(1, 1),
+                   channel=NocChannel.REQ, msg_class=MsgClass.COHERENCE,
+                   payload_flits=8), 0)
+    sim.run()
+    assert len(delivered) == BURST
+    return sim.now
+
+
+def run_sweep():
+    return {credits: drain_time(credits) for credits in (1, 2, 4, 8, 16, 32)}
+
+
+def test_ablation_bridge_credits(benchmark, report):
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    text = render_table(
+        ["credits per (node, channel)", f"cycles to tunnel {BURST} packets"],
+        [[credits, cycles] for credits, cycles in results.items()],
+        title="Ablation: bridge credit depth vs tunnel throughput")
+    report("ablation_bridge_credits", text)
+    # Starved tunnel is much slower; each doubling of the window helps
+    # less as it approaches the PCIe round trip's worth of packets.
+    credit_values = sorted(results)
+    times = [results[c] for c in credit_values]
+    assert all(times[i] >= times[i + 1] for i in range(len(times) - 1))
+    assert results[1] > 10 * results[32]
+    gain_small = results[1] / results[2]
+    gain_large = results[16] / results[32]
+    assert gain_large < gain_small

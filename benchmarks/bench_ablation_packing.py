@@ -1,0 +1,48 @@
+"""Ablation: nodes-per-FPGA packing vs frequency vs cost efficiency.
+
+The paper's 1x4x2 cost-study configuration packs four independent 2-core
+prototypes into one FPGA (Sec. 4.5).  This ablation quantifies the
+trade-off the Table 4 model implies: more tiles per FPGA amortize the
+$1.65/hr better, until utilization forces the 75 MHz clock.
+"""
+
+from repro.analysis import render_table
+from repro.fpga import F1_INSTANCES, estimate
+
+CONFIGS = [(1, 2), (1, 10), (1, 12), (2, 4), (2, 5), (4, 2)]
+
+
+def run_sweep():
+    price = F1_INSTANCES["f1.2xlarge"].price_per_hour
+    rows = []
+    for nodes, tiles in CONFIGS:
+        r = estimate(nodes, tiles)
+        total_tiles = nodes * tiles
+        # Throughput proxy: core-MHz per dollar-hour.
+        core_mhz = total_tiles * r.frequency_mhz
+        rows.append({
+            "config": f"{nodes}x{tiles}",
+            "tiles": total_tiles,
+            "freq": r.frequency_mhz,
+            "util": r.utilization,
+            "core_mhz_per_dollar": core_mhz / price,
+        })
+    return rows
+
+
+def test_ablation_packing(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    text = render_table(
+        ["config", "tiles/FPGA", "MHz", "LUTs", "core-MHz per $/hr"],
+        [[r["config"], r["tiles"], f"{r['freq']:.0f}",
+          f"{r['util']:.0%}", f"{r['core_mhz_per_dollar']:.0f}"]
+         for r in rows],
+        title="Ablation: packing vs frequency vs cost efficiency")
+    report("ablation_packing", text)
+    by_config = {r["config"]: r for r in rows}
+    # Dense packing at 100 MHz (1x10, 2x4) beats the congested 1x12.
+    assert by_config["1x10"]["core_mhz_per_dollar"] \
+        > by_config["1x12"]["core_mhz_per_dollar"]
+    # A near-empty FPGA wastes most of the rental.
+    assert by_config["1x2"]["core_mhz_per_dollar"] \
+        < by_config["2x4"]["core_mhz_per_dollar"] / 3

@@ -1,0 +1,26 @@
+"""Fig. 10: GNG accelerator evaluation — speedup over software."""
+
+from repro.analysis import bar_chart
+from repro.workloads import fig10_speedups
+
+MODES = ("sw", "1", "2", "4")
+
+
+def test_fig10_gng_speedups(benchmark, report):
+    speedups = benchmark.pedantic(fig10_speedups, iterations=1, rounds=1)
+    labels = {"noise_generator": "A: Noise generator",
+              "noise_applier": "B: Noise applier"}
+    chart = bar_chart(
+        [labels[b] for b in speedups],
+        {mode: [speedups[b][mode] for b in speedups] for mode in MODES},
+        title="Fig. 10: GNG speedup over software implementation",
+        unit="x")
+    text = chart + "\n\n(paper: A = 12/21/32x, B = 7.4/10/13x)"
+    report("fig10_gng_speedups", text)
+    generator = speedups["noise_generator"]
+    applier = speedups["noise_applier"]
+    assert 9 <= generator["1"] <= 16
+    assert 16 <= generator["2"] <= 27
+    assert 25 <= generator["4"] <= 42
+    assert 5.5 <= applier["1"] <= 10.5
+    assert applier["4"] < generator["4"]

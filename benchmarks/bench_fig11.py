@@ -1,0 +1,23 @@
+"""Fig. 11: MAPLE engine evaluation — speedup over single-thread."""
+
+from repro.analysis import bar_chart
+from repro.workloads import KERNELS, fig11_speedups
+
+MODES = ("1thread", "maple", "2thread")
+
+
+def test_fig11_maple_speedups(benchmark, report):
+    speedups = benchmark.pedantic(fig11_speedups, iterations=1, rounds=1)
+    chart = bar_chart(
+        [k.upper() for k in KERNELS],
+        {mode: [speedups[k][mode] for k in KERNELS] for mode in MODES},
+        title="Fig. 11: MAPLE speedup relative to single-thread execution",
+        unit="x")
+    text = chart + "\n\n(paper: MAPLE = 2.4/1.0/1.9/2.2x; " \
+                   "2 threads = 1.6/1.4/1.2/1.8x)"
+    report("fig11_maple_speedups", text)
+    # MAPLE beats the second thread on latency-bound kernels...
+    assert speedups["spmv"]["maple"] > speedups["spmv"]["2thread"]
+    assert speedups["bfs"]["maple"] > speedups["bfs"]["2thread"]
+    # ...but not on the compute-bound one.
+    assert speedups["spmm"]["maple"] < speedups["spmm"]["2thread"]

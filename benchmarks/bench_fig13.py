@@ -1,0 +1,31 @@
+"""Fig. 13: modeling costs in dollars (SPECint 2017, test inputs)."""
+
+from repro.analysis import bar_chart, render_table
+from repro.cost import (FIG13_TOOLS, benchmark_costs, gem5_cost_ratio,
+                        suite_costs)
+
+
+def compute_costs():
+    return benchmark_costs(), suite_costs(), gem5_cost_ratio()
+
+
+def test_fig13_modeling_costs(benchmark, report):
+    costs, suite, gem5_ratio = benchmark.pedantic(compute_costs,
+                                                  iterations=1, rounds=1)
+    labels = list(costs) + ["SPECint 2017"]
+    series = {tool: [costs[b][tool] for b in costs] + [suite[tool]]
+              for tool in FIG13_TOOLS}
+    chart = bar_chart(labels, series,
+                      title="Fig. 13: modeling costs in dollars", unit="$")
+    text = "\n".join([
+        chart, "",
+        f"gem5 (not charted, as in the paper): "
+        f"{gem5_ratio:,.0f}x the SMAPPIC cost (4-5 orders of magnitude)",
+    ])
+    report("fig13_modeling_costs", text)
+    # Shape: SMAPPIC cheapest, FireSim single ~4x, supernode ~2x.
+    for bench_name, row in costs.items():
+        assert row["smappic"] == min(v for v in row.values()
+                                     if v is not None)
+    assert suite["firesim-single"] / suite["smappic"] == 4.0
+    assert 1e4 <= gem5_ratio <= 1e5

@@ -1,0 +1,28 @@
+"""Fig. 14: cost of FPGA modeling in the cloud vs on-premises."""
+
+from repro.analysis import line_series
+from repro.cost import CostComparison
+
+
+def compute_fig14():
+    comparison = CostComparison()
+    return comparison, comparison.series(max_days=350, step=50)
+
+
+def test_fig14_cloud_vs_onprem(benchmark, report):
+    comparison, series = benchmark.pedantic(compute_fig14, iterations=1,
+                                            rounds=1)
+    crossover = comparison.crossover_days()
+    chart = line_series(
+        [f"day {d}" for d in series["days"]],
+        {"cloud": series["cloud"], "on-premises": series["onprem"]},
+        title="Fig. 14: FPGA modeling cost, cloud vs on-premises", unit="$")
+    text = "\n".join([
+        chart, "",
+        f"crossover: {crossover:.0f} days of continuous modeling "
+        "(paper: ~200 days)",
+    ])
+    report("fig14_cloud_vs_onprem", text)
+    assert 190 <= crossover <= 215
+    assert series["cloud"][0] < series["onprem"][0]
+    assert series["cloud"][-1] > series["onprem"][-1]

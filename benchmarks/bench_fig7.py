@@ -1,0 +1,43 @@
+"""Fig. 7: inter-core round-trip latency heatmap on the 4x1x12 prototype.
+
+Runs the real cycle-level prototype: 48x48 cache-line-transfer probes
+through the coherence fabric (intra-node over the NoC, inter-node through
+the AXI4/PCIe bridge).  The paper reports ~100-cycle intra-node and
+~250-cycle inter-node round trips with four clearly visible NUMA domains.
+"""
+
+import statistics
+
+from repro import build
+from repro.analysis import block_summary, heatmap
+
+
+def measure_matrix():
+    proto = build("4x1x12")
+    return proto.latency_matrix(), proto.config.tiles_per_node
+
+
+def test_fig7_latency_heatmap(benchmark, report):
+    matrix, tiles_per_node = benchmark.pedantic(measure_matrix,
+                                                iterations=1, rounds=1)
+    summary = block_summary(matrix, block=tiles_per_node)
+    intra = summary["intra_node_mean"]
+    inter = summary["inter_node_mean"]
+    text = "\n".join([
+        heatmap(matrix, title="Fig. 7: inter-core round-trip latency "
+                              "(cycles), 48 cores / 4 nodes"),
+        "",
+        f"intra-node mean: {intra:.0f} cycles (paper: ~100)",
+        f"inter-node mean: {inter:.0f} cycles (paper: ~250)",
+        f"NUMA ratio:      {inter / intra:.2f}x (paper: ~2.5x)",
+    ])
+    report("fig7_latency_heatmap", text)
+    # Shape assertions: four NUMA domains, paper-band latencies.
+    assert 70 <= intra <= 140
+    assert 220 <= inter <= 330
+    assert 2.0 <= inter / intra <= 3.5
+    # Every intra-node pair beats every inter-node pair on average per row.
+    row = matrix[0]
+    intra_row = statistics.mean(row[1:tiles_per_node])
+    inter_row = statistics.mean(row[tiles_per_node:])
+    assert intra_row < inter_row

@@ -1,0 +1,40 @@
+"""Fig. 8: NUMA-aware vs non-NUMA Linux running NPB integer sort.
+
+The NUMA machine parameters (local/remote latency) are *measured* from
+the cycle-level 4x1x12 prototype, then fed into the phase-level IS model
+(the documented substitution for hours of full-Linux execution).
+"""
+
+from repro import build
+from repro.analysis import line_series
+from repro.osmodel import machine_from_prototype
+from repro.workloads import fig8_series
+
+
+def compute_fig8():
+    machine = machine_from_prototype(build("4x1x12"))
+    return machine, fig8_series(machine)
+
+
+def test_fig8_numa_scaling(benchmark, report):
+    machine, series = benchmark.pedantic(compute_fig8, iterations=1,
+                                         rounds=1)
+    ratios = [off / on for on, off in zip(series["numa_on"],
+                                          series["numa_off"])]
+    chart = line_series(
+        [f"{t} threads" for t in series["threads"]],
+        {"NUMA on": series["numa_on"], "NUMA off": series["numa_off"]},
+        title="Fig. 8: NPB IS class C runtime (seconds)", unit="s")
+    text = "\n".join([
+        chart, "",
+        f"measured machine: local={machine.local_latency:.0f}cyc "
+        f"remote={machine.remote_latency:.0f}cyc",
+        "NUMA speedup by thread count: "
+        + ", ".join(f"{t}:{r:.2f}x" for t, r
+                    in zip(series["threads"], ratios)),
+        "(paper: 1.6x-2.8x, growing with thread count)",
+    ])
+    report("fig8_numa_scaling", text)
+    assert 1.4 <= ratios[0] <= 2.0
+    assert 2.3 <= ratios[-1] <= 3.2
+    assert all(ratios[i] <= ratios[i + 1] for i in range(len(ratios) - 1))

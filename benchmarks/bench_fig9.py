@@ -1,0 +1,32 @@
+"""Fig. 9: thread-allocation study — 12 IS threads pinned to 1-4 nodes."""
+
+from repro import build
+from repro.analysis import line_series
+from repro.osmodel import machine_from_prototype
+from repro.workloads import fig9_series
+
+
+def compute_fig9():
+    machine = machine_from_prototype(build("4x1x12"))
+    return fig9_series(machine)
+
+
+def test_fig9_thread_allocation(benchmark, report):
+    series = benchmark.pedantic(compute_fig9, iterations=1, rounds=1)
+    chart = line_series(
+        [f"{k} active nodes" for k in series["active_nodes"]],
+        {"NUMA on": series["numa_on"], "NUMA off": series["numa_off"]},
+        title="Fig. 9: IS runtime, 12 threads pinned via taskset (seconds)",
+        unit="s")
+    on, off = series["numa_on"], series["numa_off"]
+    text = "\n".join([
+        chart, "",
+        "NUMA on : spreading threads over more nodes raises memory "
+        f"latency ({on[0]:.0f}s -> {on[-1]:.0f}s)",
+        "NUMA off: spreading threads relieves the loaded node "
+        f"({off[0]:.0f}s -> {off[-1]:.0f}s)",
+    ])
+    report("fig9_thread_allocation", text)
+    # Directions from the paper.
+    assert all(on[i] <= on[i + 1] for i in range(len(on) - 1))
+    assert all(off[i] >= off[i + 1] for i in range(len(off) - 1))

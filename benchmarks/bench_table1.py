@@ -1,0 +1,23 @@
+"""Table 1: available AWS EC2 F1 instances."""
+
+from repro.analysis import render_table
+from repro.fpga import F1_INSTANCES
+
+
+def build_table1() -> str:
+    headers = ["Instance", "#vCPUs", "Host mem (GB)", "Storage (GB)",
+               "#FPGAs", "FPGA mem (GB)", "$/hr", "HW price"]
+    rows = [
+        [inst.name, inst.vcpus, inst.host_memory_gb, inst.storage_gb,
+         inst.fpgas, inst.fpga_memory_gb, inst.price_per_hour,
+         f"~${inst.hardware_price}"]
+        for inst in F1_INSTANCES.values()
+    ]
+    return render_table(headers, rows, title="Table 1: AWS EC2 F1 instances")
+
+
+def test_table1(benchmark, report):
+    text = benchmark(build_table1)
+    report("table1_f1_instances", text)
+    assert "f1.16xlarge" in text
+    assert "13.2" in text

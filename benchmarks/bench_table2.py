@@ -1,0 +1,35 @@
+"""Table 2: prototyped system parameters (the library's defaults)."""
+
+from repro import SystemParams
+from repro.analysis import render_table
+
+
+def build_table2() -> str:
+    params = SystemParams()
+    rows = [
+        ["Instruction set", params.isa],
+        ["Operating system", params.operating_system],
+        ["Frequency", f"{params.frequency_mhz:.0f} MHz"],
+        ["Core", params.core.capitalize()],
+        ["Core pipeline", params.core_pipeline],
+        ["Branch history table entries", params.branch_history_entries],
+        ["ITLB entries", params.itlb_entries],
+        ["DTLB entries", params.dtlb_entries],
+        ["L1D cache", f"{params.l1d_bytes // 1024} KB, {params.l1d_ways} ways"],
+        ["L1I cache", f"{params.l1i_bytes // 1024} KB, {params.l1i_ways} ways"],
+        ["BPC cache", f"{params.bpc_bytes // 1024} KB, {params.bpc_ways} ways"],
+        ["LLC cache slice",
+         f"{params.llc_slice_bytes // 1024} KB, {params.llc_ways} ways"],
+        ["DRAM latency", f"{params.dram_latency_cycles} cycles"],
+        ["Inter-node round-trip latency", params.inter_node_rtt_cycles],
+    ]
+    return render_table(["Parameter", "Value"], rows,
+                        title="Table 2: prototyped system parameters")
+
+
+def test_table2(benchmark, report):
+    text = benchmark(build_table2)
+    report("table2_system_parameters", text)
+    assert "Ariane" in text
+    assert "64 KB, 4 ways" in text
+    assert "80 cycles" in text

@@ -1,0 +1,21 @@
+"""Table 3: host requirements and cheapest suitable EC2 instances."""
+
+from repro.analysis import render_table
+from repro.cost import table3_rows
+
+
+def build_table3() -> str:
+    rows = [[row["tool"], row["vcpus"], row["memory_gb"], row["fpgas"],
+             row["instance"], row["price_per_hour"]]
+            for row in table3_rows()]
+    return render_table(
+        ["Tool", "#vCPUs", "Memory (GB)", "FPGAs", "Instance", "$/hr"],
+        rows, title="Table 3: host requirements and cheapest instances")
+
+
+def test_table3(benchmark, report):
+    text = benchmark(build_table3)
+    report("table3_host_requirements", text)
+    assert "t3.m" in text
+    assert "f1.2xl" in text
+    assert "1.65" in text

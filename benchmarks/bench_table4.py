@@ -1,0 +1,27 @@
+"""Table 4: SMAPPIC configurations with frequencies and LUT utilization."""
+
+from repro.analysis import render_table
+from repro.fpga import estimate
+
+CONFIGS = [(1, 12), (1, 10), (2, 4), (2, 5), (4, 2)]
+
+
+def build_table4() -> str:
+    rows = []
+    for nodes, tiles in CONFIGS:
+        r = estimate(nodes, tiles, "ariane")
+        rows.append([r.config_label, f"{r.frequency_mhz:.0f} MHz",
+                     f"{r.utilization:.0%}"])
+    return render_table(["Configuration", "Frequency", "LUT utilization"],
+                        rows,
+                        title="Table 4: configurations, frequency, LUTs")
+
+
+def test_table4(benchmark, report):
+    text = benchmark(build_table4)
+    report("table4_configurations", text)
+    # The frequency column must match the paper exactly.
+    rows = {line.split("|")[0].strip(): line.split("|")[1].strip()
+            for line in text.splitlines() if "MHz" in line}
+    assert rows == {"1x12": "75 MHz", "1x10": "100 MHz", "2x4": "100 MHz",
+                    "2x5": "75 MHz", "4x2": "100 MHz"}

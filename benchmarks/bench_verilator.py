@@ -1,0 +1,42 @@
+"""Sec. 4.5: Verilator vs SMAPPIC on HelloWorld.
+
+The paper: Verilator takes 65 s, SMAPPIC 4 ms, making SMAPPIC ~1600x more
+cost-efficient.  We run the real HelloWorld program (boot + UART print) on
+the simulated prototype and price both tools.
+"""
+
+from repro import build
+from repro.analysis import render_table
+from repro.cost import (verilator_cost_efficiency_ratio,
+                        verilator_runtime_seconds)
+from repro.workloads import run_helloworld
+
+
+def run_comparison():
+    result = run_helloworld(build("1x1x2"))
+    smappic_seconds = result.cycles / 100e6
+    verilator_seconds = verilator_runtime_seconds(result.cycles)
+    ratio = verilator_cost_efficiency_ratio(result.cycles)
+    return result, smappic_seconds, verilator_seconds, ratio
+
+
+def test_verilator_comparison(benchmark, report):
+    result, smappic_s, verilator_s, ratio = benchmark.pedantic(
+        run_comparison, iterations=1, rounds=1)
+    rows = [
+        ["SMAPPIC (100 MHz prototype)", f"{smappic_s * 1e3:.1f} ms"],
+        ["Verilator (RTL simulation)", f"{verilator_s:.0f} s"],
+        ["slowdown", f"{verilator_s / smappic_s:,.0f}x"],
+        ["SMAPPIC cost-efficiency advantage", f"{ratio:,.0f}x"],
+    ]
+    text = "\n".join([
+        render_table(["", "HelloWorld"], rows,
+                     title="Sec. 4.5: Verilator vs SMAPPIC"),
+        "",
+        f"console output: {result.console!r} (paper: 4 ms vs 65 s, ~1600x)",
+    ])
+    report("sec45_verilator_comparison", text)
+    assert result.console == "Hello, world!\n"
+    assert 0.001 <= smappic_s <= 0.01          # milliseconds
+    assert 20 <= verilator_s <= 120            # tens of seconds
+    assert 1000 <= ratio <= 2200

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints it,
+and archives the rendered text under ``benchmarks/results/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced artifacts on disk.
+"""
+
+import os
+import sys
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> str:
+    """Print a rendered artifact and save it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    return path
+
+
+@pytest.fixture
+def report():
+    return save_report

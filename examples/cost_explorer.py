@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Cost-efficient architecture modeling (paper Sec. 4.5).
+
+Explores the cost models: per-benchmark modeling cost across tools
+(Fig. 13), the gem5 outlier, the Verilator comparison, and the
+cloud-vs-on-premises crossover (Fig. 14).
+
+Run:  python examples/cost_explorer.py
+"""
+
+from repro.analysis import render_table
+from repro.cost import (CostComparison, FIG13_TOOLS, benchmark_costs,
+                        gem5_cost_ratio, suite_costs, table3_rows,
+                        verilator_cost_efficiency_ratio)
+
+
+def main() -> None:
+    print(render_table(
+        ["Tool", "vCPUs", "Mem (GB)", "FPGAs", "Instance", "$/hr"],
+        [[r["tool"], r["vcpus"], r["memory_gb"], r["fpgas"], r["instance"],
+          r["price_per_hour"]] for r in table3_rows()],
+        title="Host requirements (Table 3)"))
+
+    costs = benchmark_costs()
+    rows = [[name] + [costs[name][tool] for tool in FIG13_TOOLS]
+            for name in costs]
+    totals = suite_costs()
+    rows.append(["SPECint 2017"] + [totals[tool] for tool in FIG13_TOOLS])
+    print()
+    print(render_table(["Benchmark"] + list(FIG13_TOOLS), rows,
+                       title="Modeling cost in dollars (Fig. 13)"))
+
+    print(f"\ngem5 whole-suite cost: {gem5_cost_ratio():,.0f}x SMAPPIC "
+          "(excluded from the chart, as in the paper)")
+    print(f"SMAPPIC vs Verilator cost-efficiency on HelloWorld: "
+          f"{verilator_cost_efficiency_ratio(300_000):,.0f}x")
+
+    comparison = CostComparison()
+    print(f"\ncloud vs on-premises crossover: "
+          f"{comparison.crossover_days():.0f} days of continuous modeling")
+    print(f"  (f1.2xlarge at ${comparison.hourly}/hr vs "
+          f"~${comparison.hardware_price:,.0f} of local hardware)")
+
+
+if __name__ == "__main__":
+    main()

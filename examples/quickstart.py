@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build a SMAPPIC prototype and poke at it.
+
+Builds a 2-FPGA, 2-node, 4-tile-per-node prototype (AxBxC = 2x1x4),
+demonstrates coherent shared memory across nodes, measures Fig.-7-style
+core-to-core latencies, and prints platform/stat summaries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build
+from repro.fpga import cheapest_instance_for, estimate, estimate_build
+
+
+def main() -> None:
+    # 1. Describe and build the prototype (AxBxC notation, paper Fig. 1).
+    proto = build("2x1x4")
+    config = proto.config
+    print(f"prototype {config.label}: {config.n_nodes} nodes, "
+          f"{config.total_tiles} cores total")
+
+    # 2. What would this cost on AWS, and how long to build the image?
+    resources = estimate(config.nodes_per_fpga, config.tiles_per_node)
+    build_report = estimate_build(config.nodes_per_fpga,
+                                  config.tiles_per_node)
+    instance = cheapest_instance_for(config.n_fpgas)
+    print(f"per-FPGA utilization: {resources.utilization:.0%} "
+          f"at {resources.frequency_mhz:.0f} MHz")
+    print(f"build: {build_report.synthesis_hours:.1f} h synthesis + "
+          f"{build_report.afi_hours:.1f} h AFI, "
+          f"runs on {instance.name} at ${instance.price_per_hour}/hr")
+
+    # 3. Unified coherent memory: a store on node 0 is visible on node 1.
+    proto.write_u64(0, 0, 0x1000, 0xC0FFEE)
+    value = proto.read_u64(1, 3, 0x1000)
+    print(f"store from n0/tile0, load from n1/tile3 -> {value:#x}")
+    assert value == 0xC0FFEE
+
+    # 4. Fig.-7-style latency probes through the coherence fabric.
+    intra = proto.measure_pair_latency(0, 1)
+    inter = proto.measure_pair_latency(0, 5)
+    print(f"core 0 -> core 1 (same node):  {intra} cycles")
+    print(f"core 0 -> core 5 (other FPGA): {inter} cycles "
+          f"({inter / intra:.1f}x, PCIe tunnel)")
+
+    # 5. Aggregate statistics from every cache/bridge in the system.
+    stats = proto.stats_report()
+    interesting = {key: stats[key] for key in
+                   ("gets", "getm", "misses", "sent_packets")
+                   if key in stats}
+    print(f"system stats: {interesting}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Accelerators from the paper's case studies: GNG and MAPLE."""
+
+from .gng import (FETCH1, FETCH2, FETCH4, GaussianNoiseGenerator,
+                  GngAccelerator, SW_CYCLES_PER_SAMPLE, Tausworthe,
+                  pack_samples, sample_to_float)
+from .maple import (MODE_INDIRECT, MODE_STREAM, MapleEngine, REG_COUNT,
+                    REG_DATA_BASE, REG_INDEX_BASE, REG_MODE, REG_POP,
+                    REG_START, REG_STATUS)
+
+__all__ = [
+    "FETCH1",
+    "FETCH2",
+    "FETCH4",
+    "GaussianNoiseGenerator",
+    "GngAccelerator",
+    "MODE_INDIRECT",
+    "MODE_STREAM",
+    "MapleEngine",
+    "REG_COUNT",
+    "REG_DATA_BASE",
+    "REG_INDEX_BASE",
+    "REG_MODE",
+    "REG_POP",
+    "REG_START",
+    "REG_STATUS",
+    "SW_CYCLES_PER_SAMPLE",
+    "Tausworthe",
+    "pack_samples",
+    "sample_to_float",
+]

@@ -1,0 +1,187 @@
+"""MAPLE: latency-tolerance engine for decoupled access/execute programs
+(Orenes-Vera et al., ISCA 2022; reevaluated in SMAPPIC Sec. 4.3).
+
+The paper's verification anecdote is reproducible here: the original MAPLE
+RTL "memorizes the core ID at the execution start and uses this
+information later", which hangs the system when the OS migrates the thread
+to another core.  Constructing the engine with ``legacy_id_latch=True``
+restores that behavior (pops from any other core are silently dropped,
+hanging the consumer); the default engine answers any core, which is the
+fix the paper's authors adopted after SMAPPIC exposed the bug.
+
+MAPLE occupies a tile.  The *Execute* core programs it over non-cacheable
+stores (array bases, element count, access mode), then consumes values with
+non-cacheable loads from the pop register; MAPLE's *Access* side runs ahead,
+issuing the (irregular) memory traffic through its own tile's TRI with many
+requests in flight, and lands results in a hardware FIFO.  A pop finding
+the FIFO empty is held by the device and answered the moment data arrives —
+that is the fine-grained synchronization the paper describes.
+
+Modes:
+
+* ``MODE_STREAM``   — supply ``data[i]`` for i in 0..count;
+* ``MODE_INDIRECT`` — supply ``data[index[i]]`` (the gather pattern of
+  SPMV/BFS, where the second load is the latency-bound one).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..cache.ops import load
+from ..engine import Component, Simulator
+from ..errors import ProtocolError
+
+# MMIO register offsets.
+REG_INDEX_BASE = 0x00
+REG_DATA_BASE = 0x08
+REG_COUNT = 0x10
+REG_MODE = 0x18
+REG_START = 0x20
+REG_POP = 0x40
+REG_STATUS = 0x48
+
+MODE_STREAM = 0
+MODE_INDIRECT = 1
+
+#: Element width MAPLE fetches (8-byte values, 8-byte indices).
+ELEM = 8
+
+
+class MapleEngine(Component):
+    """The MAPLE access engine as a tile-resident MMIO device."""
+
+    def __init__(self, sim: Simulator, name: str, tile,
+                 fifo_depth: int = 32, max_inflight: int = 8,
+                 pop_latency: int = 45, legacy_id_latch: bool = False):
+        super().__init__(sim, name)
+        self.tile = tile
+        self.legacy_id_latch = legacy_id_latch
+        self.last_requester = None       # set by the tile per MMIO request
+        self._latched_owner = None
+        self.fifo_depth = fifo_depth
+        self.max_inflight = max_inflight
+        #: Cost of one pop on the device side: the non-cacheable load
+        #: traverses Ariane's store buffer, the TRI, and the queue logic.
+        self.pop_latency = pop_latency
+        self._fifo: Deque[bytes] = deque()
+        self._pops: Deque[Callable[[bytes], None]] = deque()
+        self._index_base = 0
+        self._data_base = 0
+        self._count = 0
+        self._mode = MODE_STREAM
+        self._next = 0         # next element index to fetch
+        self._head = 0         # next element index to deliver (in order)
+        self._slots = {}       # completed out-of-order: element -> data
+        self._inflight = 0
+        self._produced = 0
+        self._running = False
+        tile.attach_device(self)
+
+    # ------------------------------------------------------------------
+    # MmioDevice interface (configuration and pop)
+    # ------------------------------------------------------------------
+    def nc_write(self, offset: int, data: bytes,
+                 reply: Callable[[], None]) -> None:
+        value = int.from_bytes(data, "little")
+        if offset == REG_INDEX_BASE:
+            self._index_base = value
+        elif offset == REG_DATA_BASE:
+            self._data_base = value
+        elif offset == REG_COUNT:
+            self._count = value
+        elif offset == REG_MODE:
+            self._mode = value
+        elif offset == REG_START:
+            if self.legacy_id_latch:
+                # The original RTL bug: bind the engine to whichever core
+                # happened to start the kernel.
+                self._latched_owner = self.last_requester
+            self._start()
+        else:
+            raise ProtocolError(f"{self.name}: write to bad reg {offset:#x}")
+        reply()
+
+    def nc_read(self, offset: int, size: int,
+                reply: Callable[[bytes], None]) -> None:
+        if offset == REG_POP:
+            if (self.legacy_id_latch and self._latched_owner is not None
+                    and self.last_requester != self._latched_owner):
+                # Bug symptom: the engine ignores pops from "foreign"
+                # cores, so a migrated thread hangs waiting for the reply
+                # (exactly what the paper debugged for a couple of hours).
+                self.stats.inc("dropped_foreign_pops")
+                return
+            self.stats.inc("pops")
+            self.schedule(self.pop_latency, self._pop, reply)
+            return
+        if offset == REG_STATUS:
+            remaining = self._count - self._produced + len(self._fifo)
+            reply(remaining.to_bytes(8, "little"))
+            return
+        raise ProtocolError(f"{self.name}: read from bad reg {offset:#x}")
+
+    def _pop(self, reply: Callable[[bytes], None]) -> None:
+        if self._fifo:
+            reply(self._fifo.popleft())
+            self._pump()
+        else:
+            # Fine-grained sync: hold the reply until data lands.
+            self.stats.inc("pop_stalls")
+            self._pops.append(reply)
+
+    # ------------------------------------------------------------------
+    # Access side
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._next = 0
+        self._head = 0
+        self._slots = {}
+        self._produced = 0
+        self._running = True
+        self.stats.inc("kernels")
+        self._pump()
+
+    def _pump(self) -> None:
+        """Issue prefetches while there is FIFO headroom and flight room."""
+        while (self._running and self._next < self._count
+               and self._inflight < self.max_inflight
+               and len(self._fifo) + self._inflight < self.fifo_depth
+               + len(self._pops)):
+            element = self._next
+            self._next += 1
+            self._inflight += 1
+            if self._mode == MODE_STREAM:
+                self._fetch_data(element, self._data_base + element * ELEM)
+            else:
+                self.tile.mem_access(
+                    load(self._index_base + element * ELEM, ELEM),
+                    lambda data, e=element: self._index_arrived(e, data))
+
+    def _index_arrived(self, element: int, data: bytes) -> None:
+        index = int.from_bytes(data, "little")
+        self._fetch_data(element, self._data_base + index * ELEM)
+
+    def _fetch_data(self, element: int, addr: int) -> None:
+        self.tile.mem_access(
+            load(addr, ELEM),
+            lambda data, e=element: self._data_arrived(e, data))
+
+    def _data_arrived(self, element: int, data: bytes) -> None:
+        self._inflight -= 1
+        self.stats.inc("elements_supplied")
+        # Reorder: values are delivered to the core in element order even
+        # though the access side completes out of order.
+        self._slots[element] = data
+        while self._head in self._slots:
+            value = self._slots.pop(self._head)
+            self._head += 1
+            self._produced += 1
+            if self._pops:
+                self._pops.popleft()(value)
+            else:
+                self._fifo.append(value)
+        if self._produced >= self._count:
+            self._running = False
+        self._pump()

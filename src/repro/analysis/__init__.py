@@ -1,0 +1,12 @@
+"""Result rendering: ASCII tables, bar charts, heatmaps."""
+
+from .charts import bar_chart, block_summary, heatmap, line_series
+from .tables import render_table
+
+__all__ = [
+    "bar_chart",
+    "block_summary",
+    "heatmap",
+    "line_series",
+    "render_table",
+]

@@ -1,0 +1,82 @@
+"""ASCII charts: bars, grouped bars, and heatmaps for benchmark output.
+
+The benchmark harness prints each paper figure as text so results are
+inspectable straight from the pytest-benchmark run, with no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Shading ramp for heatmaps, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def bar_chart(labels: Sequence[str], series: Dict[str, Sequence[float]],
+              width: int = 40, title: Optional[str] = None,
+              unit: str = "") -> str:
+    """Grouped horizontal bar chart; one group per label."""
+    peak = max((value for values in series.values()
+                for value in values if value is not None), default=1.0)
+    peak = peak or 1.0
+    name_width = max(len(name) for name in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[index]
+            if value is None:
+                lines.append(f"  {name.ljust(name_width)} | (n/a)")
+                continue
+            bar = "#" * max(1, int(round(width * value / peak)))
+            lines.append(
+                f"  {name.ljust(name_width)} | {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_series(x_values: Sequence[float],
+                series: Dict[str, Sequence[float]],
+                title: Optional[str] = None, unit: str = "",
+                width: int = 40) -> str:
+    """Per-x grouped bars — the text analogue of a line chart."""
+    labels = [str(x) for x in x_values]
+    return bar_chart(labels, series, width=width, title=title, unit=unit)
+
+
+def heatmap(matrix: Sequence[Sequence[float]],
+            title: Optional[str] = None) -> str:
+    """Dense character heatmap (Fig. 7 style)."""
+    flat = [value for row in matrix for value in row]
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"scale: '{_RAMP[0]}'={low:.0f} .. '{_RAMP[-1]}'={high:.0f}")
+    for row in matrix:
+        chars = []
+        for value in row:
+            level = int((value - low) / span * (len(_RAMP) - 1))
+            chars.append(_RAMP[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def block_summary(matrix: Sequence[Sequence[float]],
+                  block: int) -> Dict[str, float]:
+    """Mean of diagonal blocks vs off-diagonal blocks (NUMA domains)."""
+    size = len(matrix)
+    diag, off = [], []
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            same = (i // block) == (j // block)
+            (diag if same else off).append(matrix[i][j])
+    return {
+        "intra_node_mean": sum(diag) / len(diag) if diag else 0.0,
+        "inter_node_mean": sum(off) / len(off) if off else 0.0,
+    }

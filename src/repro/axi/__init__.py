@@ -1,0 +1,26 @@
+"""AXI4 / AXI-Lite transaction-level model (F1 Hard Shell interfaces)."""
+
+from .crossbar import AxiCrossbar, Region
+from .messages import (BEAT_BYTES, BOUNDARY_4K, AxiLiteRead, AxiLiteReadResp,
+                       AxiLiteWrite, AxiRead, AxiReadResp, AxiResp, AxiWrite,
+                       AxiWriteResp, align_down, align_request)
+from .port import AxiPort, AxiSlave
+
+__all__ = [
+    "AxiCrossbar",
+    "AxiLiteRead",
+    "AxiLiteReadResp",
+    "AxiLiteWrite",
+    "AxiPort",
+    "AxiRead",
+    "AxiReadResp",
+    "AxiResp",
+    "AxiSlave",
+    "AxiWrite",
+    "AxiWriteResp",
+    "BEAT_BYTES",
+    "BOUNDARY_4K",
+    "Region",
+    "align_down",
+    "align_request",
+]

@@ -1,0 +1,164 @@
+"""AXI4 and AXI-Lite transaction model.
+
+The F1 Hard Shell exposes AXI4 (data movement) and AXI-Lite (management)
+interfaces to the Custom Logic (paper Fig. 2).  We model AXI at *burst*
+granularity: one :class:`AxiWrite` stands for an AW beat plus its W beats,
+one :class:`AxiRead` for an AR beat; responses are :class:`AxiWriteResp`
+(B channel) and :class:`AxiReadResp` (R beats).  Serialization cost on the
+wire is derived from the burst's beat count, so bandwidth effects survive
+the abstraction.
+
+AXI4 requires bursts not to cross 4 KB boundaries and the memory controller
+aligns requests to 64-byte lines (paper Sec. 3.2); helpers here enforce and
+check both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import ProtocolError
+
+#: AXI4 data bus width on F1 (bytes per beat).
+BEAT_BYTES = 64
+
+#: Bursts must not cross this boundary (AXI4 spec).
+BOUNDARY_4K = 4096
+
+
+class AxiResp(Enum):
+    """Subset of AXI response codes we model."""
+
+    OKAY = "OKAY"
+    SLVERR = "SLVERR"
+    DECERR = "DECERR"
+
+
+_txn_ids = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_txn_ids)
+
+
+@dataclass
+class AxiWrite:
+    """An AXI4 write burst (AW + W channels)."""
+
+    addr: int
+    data: bytes
+    axi_id: int = 0
+    user: object = None           # side-band (AWUSER); the inter-node bridge
+    uid: int = field(default_factory=_next_uid)
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ProtocolError(f"negative AXI address {self.addr:#x}")
+        if not self.data:
+            raise ProtocolError("empty AXI write burst")
+        if (self.addr % BOUNDARY_4K) + len(self.data) > BOUNDARY_4K:
+            raise ProtocolError(
+                f"AXI write at {self.addr:#x} len {len(self.data)} "
+                "crosses a 4KB boundary")
+
+    @property
+    def beats(self) -> int:
+        return (len(self.data) + BEAT_BYTES - 1) // BEAT_BYTES
+
+
+@dataclass
+class AxiRead:
+    """An AXI4 read burst request (AR channel)."""
+
+    addr: int
+    length: int
+    axi_id: int = 0
+    user: object = None
+    uid: int = field(default_factory=_next_uid)
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ProtocolError(f"negative AXI address {self.addr:#x}")
+        if self.length <= 0:
+            raise ProtocolError(f"non-positive AXI read length {self.length}")
+        if (self.addr % BOUNDARY_4K) + self.length > BOUNDARY_4K:
+            raise ProtocolError(
+                f"AXI read at {self.addr:#x} len {self.length} "
+                "crosses a 4KB boundary")
+
+    @property
+    def beats(self) -> int:
+        return (self.length + BEAT_BYTES - 1) // BEAT_BYTES
+
+
+@dataclass
+class AxiWriteResp:
+    """B-channel response for a write burst."""
+
+    axi_id: int
+    resp: AxiResp = AxiResp.OKAY
+    uid: Optional[int] = None      # uid of the originating AxiWrite
+
+
+@dataclass
+class AxiReadResp:
+    """R-channel response carrying the whole burst's data."""
+
+    axi_id: int
+    data: bytes = b""
+    resp: AxiResp = AxiResp.OKAY
+    uid: Optional[int] = None
+
+    @property
+    def beats(self) -> int:
+        return max(1, (len(self.data) + BEAT_BYTES - 1) // BEAT_BYTES)
+
+
+@dataclass
+class AxiLiteWrite:
+    """Single 32-bit AXI-Lite register write."""
+
+    addr: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2 ** 32:
+            raise ProtocolError(f"AXI-Lite value out of range: {self.value:#x}")
+
+
+@dataclass
+class AxiLiteRead:
+    """Single 32-bit AXI-Lite register read."""
+
+    addr: int
+
+
+@dataclass
+class AxiLiteReadResp:
+    addr: int
+    value: int
+
+
+def align_down(addr: int, granule: int = BEAT_BYTES) -> int:
+    """Align ``addr`` down to a ``granule`` boundary."""
+    return addr - (addr % granule)
+
+
+def align_request(addr: int, size: int,
+                  granule: int = BEAT_BYTES) -> tuple[int, int, int]:
+    """Align a (addr, size) request to ``granule`` boundaries.
+
+    Returns ``(aligned_addr, aligned_size, offset)`` where ``offset`` is the
+    position of the original data inside the aligned window — exactly the
+    byte-select the paper's memory controller performs on read responses
+    smaller than 64 bytes (Sec. 3.2).
+    """
+    if size <= 0:
+        raise ProtocolError(f"non-positive request size {size}")
+    start = align_down(addr, granule)
+    end_addr = addr + size
+    end = align_down(end_addr - 1, granule) + granule
+    return start, end - start, addr - start

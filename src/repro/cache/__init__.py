@@ -1,0 +1,43 @@
+"""BYOC-style cache subsystem: L1, BPC, distributed LLC, MSI directory."""
+
+from .array import CacheArray, CacheEntry
+from .bpc import Bpc
+from .homing import (CdrHoming, GlobalInterleaveHoming, Homing,
+                     NodeRangeHoming)
+from .l1 import L1Cache
+from .llc import LlcSlice
+from .msgs import (LINE_BYTES, CoherenceMsg, DataM, DataS, Downgrade,
+                   DowngradeData, GetM, GetS, Inv, InvAck, PutM, WbAck,
+                   line_of)
+from .ops import AMO_OPS, MemOp, OpKind, amo, load, store
+
+__all__ = [
+    "Bpc",
+    "CacheArray",
+    "CacheEntry",
+    "CdrHoming",
+    "CoherenceMsg",
+    "DataM",
+    "DataS",
+    "Downgrade",
+    "DowngradeData",
+    "GetM",
+    "GetS",
+    "GlobalInterleaveHoming",
+    "Homing",
+    "Inv",
+    "InvAck",
+    "L1Cache",
+    "LINE_BYTES",
+    "LlcSlice",
+    "MemOp",
+    "NodeRangeHoming",
+    "OpKind",
+    "PutM",
+    "WbAck",
+    "amo",
+    "AMO_OPS",
+    "line_of",
+    "load",
+    "store",
+]

@@ -1,0 +1,90 @@
+"""Cache-line homing policies.
+
+The *home* of a line is the LLC slice responsible for its coherence.  BYOC
+originally supports multi-chip operation only through Coherence Domain
+Restriction (CDR), a hardware/software mechanism that confines a line's
+coherence to one chip.  SMAPPIC replaces this: the homing mechanism is
+changed "to distribute cache lines across all nodes in the system and work
+out of the box without software support" (paper Sec. 3.1, stage 1).
+
+Three policies are provided:
+
+* :class:`GlobalInterleaveHoming` — SMAPPIC's default: line index modulo the
+  total tile count of the whole prototype.
+* :class:`NodeRangeHoming` — device-tree/NUMA style: the address range picks
+  the node (each node owns an equal slice of physical memory), the line
+  index picks the tile within it.  This is the layout the NUMA Linux case
+  study (Sec. 4.1) exposes to the OS.
+* :class:`CdrHoming` — the BYOC baseline: lines home only within the
+  requesting node (no inter-node sharing), kept for ablation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigError
+from ..noc import TileAddr
+
+
+class Homing(ABC):
+    """Maps a line address (and requester) to its home LLC slice."""
+
+    def __init__(self, n_nodes: int, tiles_per_node: int, line_bytes: int = 64):
+        if n_nodes < 1 or tiles_per_node < 1:
+            raise ConfigError("homing needs >=1 node and tile")
+        self.n_nodes = n_nodes
+        self.tiles_per_node = tiles_per_node
+        self.line_bytes = line_bytes
+
+    def _line_index(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    @abstractmethod
+    def home_of(self, addr: int, requester: TileAddr) -> TileAddr:
+        """Tile whose LLC slice is home for ``addr``."""
+
+    def memory_node_of(self, addr: int, requester: TileAddr) -> int:
+        """Node whose DRAM backs ``addr`` (defaults to the home node)."""
+        return self.home_of(addr, requester).node
+
+
+class GlobalInterleaveHoming(Homing):
+    """SMAPPIC default: interleave line homes across every tile of every node."""
+
+    def home_of(self, addr: int, requester: TileAddr) -> TileAddr:
+        total = self.n_nodes * self.tiles_per_node
+        global_tile = self._line_index(addr) % total
+        return TileAddr(node=global_tile // self.tiles_per_node,
+                        tile=global_tile % self.tiles_per_node)
+
+
+class NodeRangeHoming(Homing):
+    """NUMA layout: the address range selects the node, lines interleave
+    across that node's tiles.  ``bytes_per_node`` is each node's DRAM size."""
+
+    def __init__(self, n_nodes: int, tiles_per_node: int, bytes_per_node: int,
+                 line_bytes: int = 64):
+        super().__init__(n_nodes, tiles_per_node, line_bytes)
+        if bytes_per_node <= 0:
+            raise ConfigError("bytes_per_node must be positive")
+        self.bytes_per_node = bytes_per_node
+
+    def home_of(self, addr: int, requester: TileAddr) -> TileAddr:
+        node = addr // self.bytes_per_node
+        if node >= self.n_nodes:
+            raise ConfigError(
+                f"address {addr:#x} beyond node memory "
+                f"({self.n_nodes} x {self.bytes_per_node:#x})")
+        return TileAddr(node=node,
+                        tile=self._line_index(addr) % self.tiles_per_node)
+
+
+class CdrHoming(Homing):
+    """BYOC-style Coherence Domain Restriction: home stays on the
+    requester's own node.  Lines are then *not* kept coherent across nodes;
+    use only for single-node prototypes or as an ablation baseline."""
+
+    def home_of(self, addr: int, requester: TileAddr) -> TileAddr:
+        return TileAddr(node=requester.node,
+                        tile=self._line_index(addr) % self.tiles_per_node)

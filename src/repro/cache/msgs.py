@@ -1,0 +1,148 @@
+"""Coherence protocol messages (MSI directory protocol).
+
+The protocol follows BYOC's split across the three NoCs:
+
+* **REQ (NoC1)** — requests from private caches to the home LLC slice:
+  :class:`GetS`, :class:`GetM`.
+* **RESP (NoC2)** — home-to-private traffic: :class:`DataS`, :class:`DataM`,
+  :class:`WbAck`, and the probes :class:`Inv` / :class:`Downgrade`.
+* **WB (NoC3)** — private-to-home completions: :class:`PutM` (dirty
+  eviction), :class:`InvAck`, :class:`DowngradeData`.
+
+Keeping probes and completions off the request network is what makes the
+protocol deadlock-free, which in turn is what the inter-node bridge's
+credit-based tunneling preserves across FPGAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..noc import NocChannel, TileAddr
+
+LINE_BYTES = 64
+
+
+@dataclass
+class CoherenceMsg:
+    """Common fields: the 64B-aligned line address and the sender tile."""
+
+    line: int
+    sender: TileAddr
+
+    channel: NocChannel = NocChannel.REQ  # overridden per subclass
+
+    def payload_flits(self) -> int:
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# REQ: private cache -> home LLC
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GetS(CoherenceMsg):
+    """Read miss: request shared access."""
+
+    channel: NocChannel = NocChannel.REQ
+
+
+@dataclass
+class GetM(CoherenceMsg):
+    """Write miss or upgrade: request exclusive access."""
+
+    channel: NocChannel = NocChannel.REQ
+
+
+# ---------------------------------------------------------------------------
+# RESP: home LLC -> private cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DataS(CoherenceMsg):
+    """Line data granted in shared state."""
+
+    data: bytes = b""
+    channel: NocChannel = NocChannel.RESP
+
+    def payload_flits(self) -> int:
+        return 1 + LINE_BYTES // 8
+
+
+@dataclass
+class DataM(CoherenceMsg):
+    """Line data granted in exclusive (modifiable) state."""
+
+    data: bytes = b""
+    channel: NocChannel = NocChannel.RESP
+
+    def payload_flits(self) -> int:
+        return 1 + LINE_BYTES // 8
+
+
+@dataclass
+class WbAck(CoherenceMsg):
+    """Home acknowledges a PutM; the evicting cache may retire it."""
+
+    channel: NocChannel = NocChannel.RESP
+
+
+@dataclass
+class Inv(CoherenceMsg):
+    """Home asks a sharer/owner to invalidate the line."""
+
+    channel: NocChannel = NocChannel.RESP
+
+
+@dataclass
+class Downgrade(CoherenceMsg):
+    """Home asks the owner to demote M -> S and return the data."""
+
+    channel: NocChannel = NocChannel.RESP
+
+
+# ---------------------------------------------------------------------------
+# WB: private cache -> home LLC
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PutM(CoherenceMsg):
+    """Dirty eviction: the owner returns the line's data to home."""
+
+    data: bytes = b""
+    channel: NocChannel = NocChannel.WB
+
+    def payload_flits(self) -> int:
+        return 1 + LINE_BYTES // 8
+
+
+@dataclass
+class InvAck(CoherenceMsg):
+    """Invalidation acknowledged; carries data when the line was dirty."""
+
+    data: Optional[bytes] = None
+    channel: NocChannel = NocChannel.WB
+
+    @property
+    def dirty(self) -> bool:
+        return self.data is not None
+
+    def payload_flits(self) -> int:
+        return 1 + (LINE_BYTES // 8 if self.dirty else 0)
+
+
+@dataclass
+class DowngradeData(CoherenceMsg):
+    """Owner demoted to S; carries the (possibly dirty) line data."""
+
+    data: bytes = b""
+    channel: NocChannel = NocChannel.WB
+
+    def payload_flits(self) -> int:
+        return 1 + LINE_BYTES // 8
+
+
+def line_of(addr: int) -> int:
+    """64-byte line address containing ``addr``."""
+    return addr - (addr % LINE_BYTES)

@@ -1,0 +1,80 @@
+"""Core-side memory operations (the Transaction-Response Interface payload).
+
+BYOC's TRI isolates cores from the coherence protocol: a core issues loads
+and stores and gets responses, never seeing coherence messages.  These are
+the operations a core (or accelerator) hands to its private cache — or, for
+non-cacheable operations, directly to the device fabric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from ..errors import ProtocolError
+
+
+class OpKind(Enum):
+    LOAD = auto()
+    STORE = auto()
+    #: Atomic read-modify-write (RISC-V A extension); returns the old value.
+    AMO = auto()
+
+
+#: AMO operations: old value, operand -> new value (on unsigned integers).
+AMO_OPS = {
+    "swap": lambda old, value: value,
+    "add": lambda old, value: (old + value) & (2 ** 64 - 1),
+    "and": lambda old, value: old & value,
+    "or": lambda old, value: old | value,
+    "xor": lambda old, value: old ^ value,
+    "max": lambda old, value: max(old, value),
+    "min": lambda old, value: min(old, value),
+}
+
+
+_op_ids = itertools.count()
+
+
+@dataclass
+class MemOp:
+    """One load, store, or atomic.  ``size`` stays within one 64-byte line."""
+
+    kind: OpKind
+    addr: int
+    size: int = 8
+    data: bytes = b""
+    cacheable: bool = True
+    amo_op: str = ""
+    uid: int = field(default_factory=lambda: next(_op_ids))
+    issued_at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ProtocolError(f"op size must be positive, got {self.size}")
+        if (self.addr % 64) + self.size > 64:
+            raise ProtocolError(
+                f"op at {self.addr:#x} size {self.size} crosses a line")
+        if self.kind in (OpKind.STORE, OpKind.AMO) \
+                and len(self.data) != self.size:
+            raise ProtocolError(
+                f"store data length {len(self.data)} != size {self.size}")
+        if self.kind is OpKind.AMO and self.amo_op not in AMO_OPS:
+            raise ProtocolError(f"unknown AMO operation '{self.amo_op}'")
+
+
+def load(addr: int, size: int = 8, cacheable: bool = True) -> MemOp:
+    """Convenience constructor for a load."""
+    return MemOp(OpKind.LOAD, addr, size, cacheable=cacheable)
+
+
+def store(addr: int, data: bytes, cacheable: bool = True) -> MemOp:
+    """Convenience constructor for a store."""
+    return MemOp(OpKind.STORE, addr, len(data), data, cacheable=cacheable)
+
+
+def amo(addr: int, operation: str, value: int, size: int = 8) -> MemOp:
+    """Convenience constructor for an atomic read-modify-write."""
+    return MemOp(OpKind.AMO, addr, size,
+                 value.to_bytes(size, "little"), amo_op=operation)

@@ -1,0 +1,161 @@
+"""Command-line interface: the paper's build-script workflow.
+
+SMAPPIC users "simply specify the preferred core type, the number of tiles
+per node, the number of nodes per FPGA, and the number of FPGAs"
+(Sec. 4.1) and get a prototype.  This CLI is that workflow against the
+simulation::
+
+    python -m repro describe 4x1x12        # resources, build, pricing
+    python -m repro sweep                  # every configuration that fits
+    python -m repro latency 2x1x4          # Fig.-7-style probe summary
+    python -m repro hello 1x1x2            # boot HelloWorld, show console
+    python -m repro cost                   # Fig.-13 cost table
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from . import build, parse_config
+from .analysis import render_table
+from .cost import FIG13_TOOLS, benchmark_costs, suite_costs
+from .errors import ReproError
+from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
+                   estimate_build, max_tiles_per_fpga)
+
+
+def cmd_describe(args) -> int:
+    config = parse_config(args.config)
+    resources = estimate(config.nodes_per_fpga, config.tiles_per_node,
+                         config.params.core)
+    build_report = estimate_build(config.nodes_per_fpga,
+                                  config.tiles_per_node, config.params.core)
+    instance = cheapest_instance_for(config.n_fpgas)
+    rows = [
+        ["configuration", config.label],
+        ["nodes", config.n_nodes],
+        ["cores total", config.total_tiles],
+        ["core type", config.params.core],
+        ["LUT utilization / FPGA", f"{resources.utilization:.0%}"],
+        ["achievable frequency", f"{resources.frequency_mhz:.0f} MHz"],
+        ["synthesis time", f"{build_report.synthesis_hours:.1f} h"],
+        ["AFI processing", f"{build_report.afi_hours:.1f} h"],
+        ["bitstream load", f"{build_report.load_seconds:.0f} s"],
+        ["build host memory", f"{build_report.build_memory_gb:.0f} GB"],
+        ["EC2 instance", instance.name],
+        ["price", f"${instance.price_per_hour:.2f}/hr"],
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"SMAPPIC prototype {config.label}"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows: List[List] = []
+    for nodes in range(1, DRAM_INTERFACES_PER_FPGA + 1):
+        for tiles in range(1, max_tiles_per_fpga(args.core) + 1):
+            try:
+                report = estimate(nodes, tiles, args.core)
+            except ReproError:
+                continue
+            rows.append([f"{nodes}x{tiles}", nodes * tiles,
+                         f"{report.utilization:.0%}",
+                         f"{report.frequency_mhz:.0f} MHz"])
+    print(render_table(
+        ["config (BxC)", "tiles/FPGA", "LUTs", "frequency"], rows,
+        title=f"configurations that fit one FPGA ({args.core} tiles)"))
+    return 0
+
+
+def cmd_latency(args) -> int:
+    proto = build(args.config)
+    total = proto.config.total_tiles
+    tiles_per_node = proto.config.tiles_per_node
+    intra, inter = [], []
+    for sender in range(0, total, max(1, total // 6)):
+        for receiver in range(total):
+            if sender == receiver:
+                continue
+            latency = proto.measure_pair_latency(sender, receiver)
+            same_node = (sender // tiles_per_node
+                         == receiver // tiles_per_node)
+            (intra if same_node else inter).append(latency)
+    rows = [["intra-node", f"{statistics.mean(intra):.0f}",
+             min(intra), max(intra)]]
+    if inter:
+        rows.append(["inter-node", f"{statistics.mean(inter):.0f}",
+                     min(inter), max(inter)])
+        rows.append(["NUMA ratio",
+                     f"{statistics.mean(inter) / statistics.mean(intra):.2f}x",
+                     "", ""])
+    print(render_table(["path", "mean (cycles)", "min", "max"], rows,
+                       title=f"core-to-core round-trip latency, "
+                             f"{args.config}"))
+    return 0
+
+
+def cmd_hello(args) -> int:
+    from .workloads import run_helloworld
+    proto = build(args.config)
+    result = run_helloworld(proto)
+    milliseconds = result.cycles / (proto.config.achievable_frequency_mhz
+                                    * 1e3)
+    print(f"console: {result.console!r}")
+    print(f"runtime: {result.cycles} cycles = {milliseconds:.2f} ms at "
+          f"{proto.config.achievable_frequency_mhz:.0f} MHz")
+    return 0 if result.exit_code == 0 else 1
+
+
+def cmd_cost(args) -> int:
+    costs = benchmark_costs()
+    rows = [[name] + [costs[name][tool] for tool in FIG13_TOOLS]
+            for name in costs]
+    totals = suite_costs()
+    rows.append(["SPECint 2017"] + [totals[tool] for tool in FIG13_TOOLS])
+    print(render_table(["benchmark"] + list(FIG13_TOOLS), rows,
+                       title="modeling cost in dollars (Fig. 13)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SMAPPIC prototype platform (simulated)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    describe = subparsers.add_parser(
+        "describe", help="resources, build flow, and pricing for a config")
+    describe.add_argument("config", help="AxBxC, e.g. 4x1x12")
+    describe.set_defaults(func=cmd_describe)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="every BxC configuration that fits one FPGA")
+    sweep.add_argument("--core", default="ariane")
+    sweep.set_defaults(func=cmd_sweep)
+
+    latency = subparsers.add_parser(
+        "latency", help="measure core-to-core latencies (Fig. 7 style)")
+    latency.add_argument("config")
+    latency.set_defaults(func=cmd_latency)
+
+    hello = subparsers.add_parser(
+        "hello", help="run HelloWorld on the prototype")
+    hello.add_argument("config", nargs="?", default="1x1x2")
+    hello.set_defaults(func=cmd_hello)
+
+    cost = subparsers.add_parser(
+        "cost", help="print the Fig. 13 modeling-cost table")
+    cost.set_defaults(func=cmd_cost)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

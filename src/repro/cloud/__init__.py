@@ -1,0 +1,19 @@
+"""Cloud pipeline (Fig. 12): AWS service models around the prototype."""
+
+from .http import HttpRequest, HttpResponse
+from .pipeline import CloudPipeline, PipelineTrace
+from .services import (DatacenterNetwork, LambdaFunction, MS, S3Bucket)
+from .webserver import PrototypeWebServer, ServedRequest
+
+__all__ = [
+    "CloudPipeline",
+    "DatacenterNetwork",
+    "HttpRequest",
+    "HttpResponse",
+    "LambdaFunction",
+    "MS",
+    "PipelineTrace",
+    "PrototypeWebServer",
+    "S3Bucket",
+    "ServedRequest",
+]

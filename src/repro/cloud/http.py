@@ -1,0 +1,40 @@
+"""Minimal HTTP message model for the Fig. 12 cloud pipeline."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    uid: int = field(default_factory=lambda: next(_request_ids))
+
+    def encode(self) -> bytes:
+        """Wire form (used to size serial-link transfers)."""
+        head = f"{self.method} {self.path} HTTP/1.1\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in self.headers.items())
+        return head.encode() + b"\r\n" + self.body
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def encode(self) -> bytes:
+        head = f"HTTP/1.1 {self.status}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in self.headers.items())
+        return head.encode() + b"\r\n" + self.body

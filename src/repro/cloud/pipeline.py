@@ -1,0 +1,111 @@
+"""The full Fig. 12 pipeline: Internet -> Lambda -> prototype -> S3 -> back.
+
+Wires a SMAPPIC prototype into a modeled AWS datacenter: the Lambda
+function gateways HTTP requests from the Internet into the private network,
+the prototype runs the Nginx/PHP stack, the PHP script fetches data from
+S3 and attaches the date, and the response retraces the path.  Every stage
+is timestamped so the benchmark can print the same request walk-through
+the paper narrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.prototype import build
+from ..errors import WorkloadError
+from .http import HttpRequest, HttpResponse
+from .services import MS, DatacenterNetwork, LambdaFunction, S3Bucket
+from .webserver import PrototypeWebServer, ServedRequest
+
+
+@dataclass
+class PipelineTrace:
+    """End-to-end record of one request through the pipeline."""
+
+    request: HttpRequest
+    response: Optional[HttpResponse] = None
+    submitted_at: int = 0
+    completed_at: int = 0
+    server_record: Optional[ServedRequest] = None
+
+    @property
+    def total_cycles(self) -> int:
+        return self.completed_at - self.submitted_at
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_cycles / MS
+
+    def stage_breakdown_ms(self) -> Dict[str, float]:
+        record = self.server_record
+        if record is None:
+            return {}
+        return {
+            "gateway+network": (record.received_at - self.submitted_at) / MS,
+            "nginx+cgi": (record.s3_started_at - record.received_at) / MS,
+            "s3_fetch": (record.s3_finished_at - record.s3_started_at) / MS,
+            "php+respond": (record.responded_at - record.s3_finished_at) / MS,
+            "return_path": (self.completed_at - record.responded_at) / MS,
+        }
+
+
+class CloudPipeline:
+    """A 1x1x4 prototype embedded in the modeled AWS region."""
+
+    def __init__(self, label: str = "1x1x4", seed: int = 23):
+        self.proto = build(label)
+        sim = self.proto.sim
+        self.s3 = S3Bucket(sim, "s3", seed=seed)
+        self.network = DatacenterNetwork(sim, "vpc")
+        self.server = PrototypeWebServer(self.proto, self.s3)
+        self.gateway = LambdaFunction(sim, "gateway", self._to_prototype,
+                                      seed=seed)
+        self._inflight: Dict[int, PipelineTrace] = {}
+
+    # ------------------------------------------------------------------
+    def seed_object(self, key: str, data: bytes) -> None:
+        """Put an object into the S3 bucket (test fixture)."""
+        self.s3.put(key, data)
+
+    def submit(self, request: HttpRequest,
+               on_done: Callable[[PipelineTrace], None]) -> None:
+        """Send one HTTP request from 'the Internet'."""
+        trace = PipelineTrace(request=request,
+                              submitted_at=self.proto.now)
+        self._inflight[request.uid] = trace
+
+        def finished(response: HttpResponse) -> None:
+            trace.response = response
+            trace.completed_at = self.proto.now
+            del self._inflight[request.uid]
+            on_done(trace)
+
+        self.gateway.handle(request, finished)
+
+    def _to_prototype(self, request: HttpRequest,
+                      reply: Callable[[HttpResponse], None]) -> None:
+        trace = self._inflight[request.uid]
+
+        def after_network() -> None:
+            self.server.serve(request, lambda record: served(record))
+
+        def served(record: ServedRequest) -> None:
+            trace.server_record = record
+            self.network.deliver(record.response.encode(),
+                                 lambda: reply(record.response))
+
+        self.network.deliver(request.encode(), after_network)
+
+    # ------------------------------------------------------------------
+    def run_request(self, path: str = "/data") -> PipelineTrace:
+        """Blocking helper: one GET through the whole pipeline."""
+        done: List[PipelineTrace] = []
+        request = HttpRequest("GET", path,
+                              headers={"Host": "smappic.internal"})
+        self.submit(request, done.append)
+        self.proto.run()
+        if not done:
+            raise WorkloadError("pipeline request never completed")
+        return done[0]

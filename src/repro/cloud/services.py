@@ -1,0 +1,82 @@
+"""AWS service models for the in-situ pipeline (paper Sec. 4.4, Fig. 12).
+
+Functional models of the cloud services the prototype talks to, each with
+a latency distribution drawn from a seeded RNG (the paper's substitution
+rule: we cannot call real AWS, but the pipeline's behavior — request
+routing, payload flow, stage latencies — is preserved).
+
+Latencies are in *prototype cycles* at 100 MHz (1 ms = 100 000 cycles),
+based on typical intra-region figures: S3 GET ~15 ms, Lambda warm invoke
+~8 ms, datacenter network hop ~0.5 ms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..engine import Component, Simulator, derived_rng
+
+MS = 100_000   # cycles per millisecond at 100 MHz
+
+
+class S3Bucket(Component):
+    """Object store with GET/PUT latency."""
+
+    def __init__(self, sim: Simulator, name: str, seed: int = 0,
+                 mean_latency: int = 15 * MS):
+        super().__init__(sim, name)
+        self._objects: Dict[str, bytes] = {}
+        self._rng = derived_rng(seed, "s3", name)
+        self.mean_latency = mean_latency
+
+    def put(self, key: str, data: bytes) -> None:
+        """Host-side seeding of bucket contents (instant, like test setup)."""
+        self._objects[key] = data
+
+    def get(self, key: str, on_done: Callable[[Optional[bytes]], None]) -> None:
+        latency = max(MS, int(self._rng.gauss(self.mean_latency,
+                                              self.mean_latency * 0.2)))
+        self.stats.inc("gets")
+        self.schedule(latency, on_done, self._objects.get(key))
+
+
+class LambdaFunction(Component):
+    """API-gateway Lambda: receives Internet requests, proxies them to the
+    web server inside the private network, and relays the response."""
+
+    def __init__(self, sim: Simulator, name: str, forward: Callable,
+                 seed: int = 0, invoke_latency: int = 8 * MS):
+        super().__init__(sim, name)
+        self.forward = forward
+        self._rng = derived_rng(seed, "lambda", name)
+        self.invoke_latency = invoke_latency
+
+    def handle(self, request, on_done: Callable) -> None:
+        self.stats.inc("invocations")
+        latency = max(MS, int(self._rng.gauss(self.invoke_latency,
+                                              self.invoke_latency * 0.25)))
+
+        def invoke() -> None:
+            self.forward(request, lambda resp: self._relay(resp, on_done))
+
+        self.schedule(latency, invoke)
+
+    def _relay(self, response, on_done: Callable) -> None:
+        # Return path through the gateway: one more network hop.
+        self.schedule(MS // 2, on_done, response)
+
+
+class DatacenterNetwork(Component):
+    """Generic intra-region hop with bandwidth."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 latency: int = MS // 2, bytes_per_cycle: float = 125.0):
+        super().__init__(sim, name)
+        self.latency = latency
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def deliver(self, payload: bytes, on_done: Callable) -> None:
+        transfer = int(len(payload) / self.bytes_per_cycle)
+        self.stats.inc("messages")
+        self.stats.inc("bytes", len(payload))
+        self.schedule(self.latency + transfer, on_done)

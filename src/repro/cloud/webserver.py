@@ -1,0 +1,127 @@
+"""Nginx + PHP running *on the prototype* (paper Fig. 12, steps 2-4).
+
+The web server is modeled as a trace program on one of the prototype's
+cores: request bytes genuinely arrive through the overclocked data UART
+(the pppd link), Nginx parses and hands off through CGI, the PHP script
+fetches from S3 over the same network link, attaches the current time, and
+the response leaves back through the UART.  All serial transfers are paced
+at the real line rate, so the prototype-side latency is simulated, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..cpu import TraceCore
+from ..errors import WorkloadError
+from ..io.uart import REG_LSR, REG_RBR_THR
+from ..noc import CHIPSET, TileAddr
+from .http import HttpRequest, HttpResponse
+from .services import MS, S3Bucket
+
+#: Prototype-side processing costs (cycles).
+NGINX_PARSE = 20_000
+CGI_HANDOFF = 30_000
+PHP_EXECUTE = 50_000
+ATTACH_DATE = 5_000
+
+#: Where the PHP script stages the S3 payload in prototype memory.
+SCRATCH_BUF = 0x600000
+
+
+@dataclass
+class ServedRequest:
+    """Timing breakdown of one request through the prototype."""
+
+    request: HttpRequest
+    response: Optional[HttpResponse] = None
+    received_at: int = 0
+    s3_started_at: int = 0
+    s3_finished_at: int = 0
+    responded_at: int = 0
+    stages: List[str] = field(default_factory=list)
+
+
+class PrototypeWebServer:
+    """One Nginx+PHP worker on core (node, tile) of a prototype."""
+
+    def __init__(self, proto, s3: S3Bucket, node: int = 0, tile: int = 0):
+        self.proto = proto
+        self.s3 = s3
+        self.node = node
+        self.uart = proto.nodes[node].chipset.data_uart
+        chipset = TileAddr(node, CHIPSET)
+        base = proto.addrmap.mmio_base(chipset)
+        self._rbr = base + 0x100 + REG_RBR_THR   # data UART window
+        self._lsr = base + 0x100 + REG_LSR
+        self.core = TraceCore(proto.sim, f"nginx{node}_{tile}",
+                              proto.tile(node, tile), proto.addrmap)
+
+    # ------------------------------------------------------------------
+    def serve(self, request: HttpRequest,
+              on_done: Callable[[ServedRequest], None]) -> None:
+        """Deliver ``request`` over the serial link and serve it."""
+        record = ServedRequest(request=request)
+        wire = request.encode()
+        self.uart.host.write(wire)
+        s3_result: List[Optional[bytes]] = []
+
+        def program(core):
+            # --- Nginx: read the request off the serial link ----------
+            received = bytearray()
+            while len(received) < len(wire):
+                status = yield core.nc_load(self._lsr, 1)
+                if status[0] & 0x01:
+                    data = yield core.nc_load(self._rbr, 1)
+                    received.append(data[0])
+                else:
+                    yield core.delay(500)
+            record.received_at = core.now
+            record.stages.append("nginx:received")
+            yield core.delay(NGINX_PARSE)
+            # --- CGI handoff into the PHP interpreter ------------------
+            yield core.delay(CGI_HANDOFF)
+            record.stages.append("cgi:handoff")
+            # --- PHP: fetch the object from S3 over the network --------
+            record.s3_started_at = core.now
+            key = request.path.lstrip("/") or "index"
+            self.s3.get(key, lambda data: s3_result.append(data))
+            while not s3_result:
+                yield core.delay(1000)       # blocked on network I/O
+            record.s3_finished_at = core.now
+            record.stages.append("php:s3-fetched")
+            payload = s3_result[0]
+            if payload is None:
+                record.response = HttpResponse(status=404, body=b"not found")
+            else:
+                # Stage the payload through prototype memory (PHP buffers).
+                for offset in range(0, min(len(payload), 512), 8):
+                    chunk = payload[offset:offset + 8].ljust(8, b"\x00")
+                    yield core.store(SCRATCH_BUF + offset, chunk)
+                yield core.delay(PHP_EXECUTE)
+                yield core.delay(ATTACH_DATE)
+                stamp = f"X-Date: cycle-{core.now}".encode()
+                record.response = HttpResponse(
+                    status=200,
+                    headers={"Server": "nginx/smappic",
+                             "X-Date": f"cycle-{core.now}"},
+                    body=payload)
+                record.stages.append("php:date-attached")
+            # --- Response back out through the serial link -------------
+            for byte in record.response.encode():
+                status = yield core.nc_load(self._lsr, 1)
+                while not (status[0] & 0x20):
+                    yield core.delay(500)
+                    status = yield core.nc_load(self._lsr, 1)
+                yield core.nc_store(self._rbr, bytes([byte]))
+            record.responded_at = core.now
+            record.stages.append("nginx:responded")
+
+        def finished(_core) -> None:
+            if record.response is None:
+                raise WorkloadError("web server finished without a response")
+            on_done(record)
+
+        self.core.run_program(program, finished)

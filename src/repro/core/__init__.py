@@ -1,0 +1,26 @@
+"""The SMAPPIC platform: configuration, prototype builder, probes."""
+
+from .addrmap import AddressMap, MMIO_BASE, MMIO_TILE_WINDOW
+from .config import PrototypeConfig, SystemParams, parse_config
+from .nc import NcRead, NcResponse, NcWrite, PingReq, PingResp
+from .node import Node
+from .prototype import Prototype, build
+from .tile import Tile
+
+__all__ = [
+    "AddressMap",
+    "MMIO_BASE",
+    "MMIO_TILE_WINDOW",
+    "NcRead",
+    "NcResponse",
+    "NcWrite",
+    "Node",
+    "PingReq",
+    "PingResp",
+    "Prototype",
+    "PrototypeConfig",
+    "SystemParams",
+    "Tile",
+    "build",
+    "parse_config",
+]

@@ -1,0 +1,98 @@
+"""Global address map of a prototype.
+
+Unified physical memory: each node's DRAM interface backs one contiguous
+range, concatenated across nodes (this is exactly what the device tree
+exposes to NUMA Linux in the paper's Sec. 4.1 case study).  Above DRAM sits
+an MMIO window per (node, tile) for non-cacheable device access — the path
+accelerator fetches (Sec. 4.2) and virtual devices use.
+
+The paper maps the virtual SD card into the *top half* of each node's DRAM
+(Sec. 3.4.2); :meth:`AddressMap.sd_base` exposes that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..noc import CHIPSET, TileAddr
+
+#: Base of the MMIO window (above any realistic DRAM size).
+MMIO_BASE = 1 << 44
+
+#: MMIO bytes per (node, tile) device.
+MMIO_TILE_WINDOW = 1 << 16
+
+#: Node field shift: leaves 12 bits of 64 KiB tile windows per node
+#: (tile index 0xFFF marks the chipset).
+_MMIO_NODE_SHIFT = 28
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Resolves physical addresses to DRAM nodes and MMIO devices."""
+
+    n_nodes: int
+    dram_bytes_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.dram_bytes_per_node <= 0:
+            raise ConfigError("address map needs nodes and DRAM")
+        if self.n_nodes * self.dram_bytes_per_node > MMIO_BASE:
+            raise ConfigError("DRAM overlaps the MMIO window")
+
+    # ------------------------------------------------------------------
+    # DRAM
+    # ------------------------------------------------------------------
+    @property
+    def dram_total(self) -> int:
+        return self.n_nodes * self.dram_bytes_per_node
+
+    def is_dram(self, addr: int) -> bool:
+        return 0 <= addr < self.dram_total
+
+    def dram_node_of(self, addr: int) -> int:
+        if not self.is_dram(addr):
+            raise ConfigError(f"{addr:#x} is not a DRAM address")
+        return addr // self.dram_bytes_per_node
+
+    def dram_offset(self, addr: int) -> int:
+        """Offset within the owning node's DRAM."""
+        return addr % self.dram_bytes_per_node
+
+    def node_dram_base(self, node_id: int) -> int:
+        return node_id * self.dram_bytes_per_node
+
+    # ------------------------------------------------------------------
+    # Virtual SD card: top half of each node's DRAM (paper Sec. 3.4.2)
+    # ------------------------------------------------------------------
+    def sd_base(self, node_id: int) -> int:
+        return self.node_dram_base(node_id) + self.dram_bytes_per_node // 2
+
+    def usable_dram_bytes(self, node_id: int) -> int:
+        """Bottom half: what the prototype's OS sees as main memory."""
+        return self.dram_bytes_per_node // 2
+
+    # ------------------------------------------------------------------
+    # MMIO
+    # ------------------------------------------------------------------
+    def is_mmio(self, addr: int) -> bool:
+        return addr >= MMIO_BASE
+
+    def mmio_base(self, target: TileAddr) -> int:
+        """Base of the MMIO window of a tile (or CHIPSET) device."""
+        tile_index = target.tile if target.tile != CHIPSET else 0xFFF
+        return (MMIO_BASE + (target.node << _MMIO_NODE_SHIFT)
+                + tile_index * MMIO_TILE_WINDOW)
+
+    def mmio_target(self, addr: int) -> TileAddr:
+        if not self.is_mmio(addr):
+            raise ConfigError(f"{addr:#x} is not an MMIO address")
+        offset = addr - MMIO_BASE
+        node = offset >> _MMIO_NODE_SHIFT
+        tile_index = (offset & ((1 << _MMIO_NODE_SHIFT) - 1)) // MMIO_TILE_WINDOW
+        tile = CHIPSET if tile_index == 0xFFF else tile_index
+        return TileAddr(node=node, tile=tile)
+
+    def mmio_offset(self, addr: int) -> int:
+        return (addr - MMIO_BASE) % MMIO_TILE_WINDOW

@@ -1,0 +1,129 @@
+"""Prototype configuration: the AxBxC notation and Table 2 parameters.
+
+A SMAPPIC prototype is described as ``AxBxC``: A FPGAs, B nodes per FPGA,
+C tiles per node (paper Fig. 1).  :class:`SystemParams` carries the
+microarchitectural parameters of Table 2; the defaults reproduce that table
+verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ConfigError
+from ..fpga import (DRAM_INTERFACES_PER_FPGA, FPGA_DRAM_GB,
+                    MAX_PCIE_LINKED_FPGAS, estimate)
+
+GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Microarchitecture parameters (paper Table 2 defaults)."""
+
+    isa: str = "RISC-V 64-bit"
+    operating_system: str = "Linux v5.12"
+    frequency_mhz: float = 100.0
+    core: str = "ariane"
+    core_pipeline: str = "In-order, 6 stages"
+    branch_history_entries: int = 128
+    itlb_entries: int = 16
+    dtlb_entries: int = 16
+    l1d_bytes: int = 8 * 1024
+    l1d_ways: int = 4
+    l1i_bytes: int = 16 * 1024
+    l1i_ways: int = 4
+    bpc_bytes: int = 8 * 1024
+    bpc_ways: int = 4
+    llc_slice_bytes: int = 64 * 1024
+    llc_ways: int = 4
+    dram_latency_cycles: int = 80
+    inter_node_rtt_cycles: int = 125
+
+
+@dataclass(frozen=True)
+class PrototypeConfig:
+    """Full description of one prototype: topology + parameters."""
+
+    n_fpgas: int = 1
+    nodes_per_fpga: int = 1
+    tiles_per_node: int = 2
+    params: SystemParams = field(default_factory=SystemParams)
+    #: 'global' (SMAPPIC interleaving), 'numa' (node address ranges), or
+    #: 'cdr' (BYOC coherence-domain restriction baseline).
+    homing: str = "global"
+    #: Nodes connected coherently; False models independent prototypes
+    #: (the cost-efficient 1x4x2 configuration of Sec. 4.5).
+    coherent_interconnect: bool = True
+    #: DRAM per node; F1 splits 64 GB across up to 4 interfaces.  The
+    #: simulation allocates it sparsely, so the full size is free to model.
+    dram_bytes_per_node: int = (FPGA_DRAM_GB // DRAM_INTERFACES_PER_FPGA) * GIB
+    #: Extra traffic shaping on the inter-node path (Sec. 3.5).
+    inter_node_shaper_latency: int = 0
+    inter_node_shaper_cycles_per_flit: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_fpgas < 1 or self.nodes_per_fpga < 1 or self.tiles_per_node < 1:
+            raise ConfigError("AxBxC components must all be >= 1")
+        if self.n_fpgas > MAX_PCIE_LINKED_FPGAS and self.coherent_interconnect:
+            raise ConfigError(
+                f"at most {MAX_PCIE_LINKED_FPGAS} FPGAs share low-latency "
+                f"PCIe links; got {self.n_fpgas}")
+        if self.nodes_per_fpga > DRAM_INTERFACES_PER_FPGA:
+            raise ConfigError(
+                f"each F1 FPGA has {DRAM_INTERFACES_PER_FPGA} DRAM "
+                f"interfaces, so at most that many nodes; got "
+                f"{self.nodes_per_fpga}")
+        if self.homing not in ("global", "numa", "cdr"):
+            raise ConfigError(f"unknown homing policy '{self.homing}'")
+        # Raises ResourceError when the shape does not fit the FPGA.
+        estimate(self.nodes_per_fpga, self.tiles_per_node, self.params.core)
+
+    # ------------------------------------------------------------------
+    # Derived topology
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.n_fpgas * self.nodes_per_fpga
+
+    @property
+    def total_tiles(self) -> int:
+        return self.n_nodes * self.tiles_per_node
+
+    @property
+    def label(self) -> str:
+        return (f"{self.n_fpgas}x{self.nodes_per_fpga}x"
+                f"{self.tiles_per_node}")
+
+    def fpga_of_node(self, node_id: int) -> int:
+        return node_id // self.nodes_per_fpga
+
+    def global_tile(self, node_id: int, tile: int) -> int:
+        """Flat core index used by Fig. 7's axes."""
+        return node_id * self.tiles_per_node + tile
+
+    @property
+    def achievable_frequency_mhz(self) -> float:
+        report = estimate(self.nodes_per_fpga, self.tiles_per_node,
+                          self.params.core)
+        return report.frequency_mhz
+
+    def with_params(self, **kwargs) -> "PrototypeConfig":
+        """A copy with some SystemParams fields replaced."""
+        return replace(self, params=replace(self.params, **kwargs))
+
+
+_AXBXC = re.compile(r"^(\d+)x(\d+)x(\d+)$")
+
+
+def parse_config(label: str, **kwargs) -> PrototypeConfig:
+    """Parse ``"4x1x12"``-style notation into a :class:`PrototypeConfig`."""
+    match = _AXBXC.match(label.strip())
+    if match is None:
+        raise ConfigError(f"'{label}' is not AxBxC notation (e.g. '4x1x12')")
+    a, b, c = (int(group) for group in match.groups())
+    return PrototypeConfig(n_fpgas=a, nodes_per_fpga=b, tiles_per_node=c,
+                           **kwargs)

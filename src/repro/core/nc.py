@@ -1,0 +1,60 @@
+"""Non-cacheable (MMIO) operations over the NoC.
+
+Accelerator fetches (paper Sec. 4.2: "Ariane issues a non-cacheable load to
+the accelerator's memory address") and device register accesses bypass the
+cache hierarchy entirely: the request travels to the owning tile or chipset,
+the device answers, and the response returns to the core.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..noc import TileAddr
+
+_nc_ids = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_nc_ids)
+
+
+@dataclass
+class NcRead:
+    """Non-cacheable load of ``size`` bytes at device offset ``offset``."""
+
+    offset: int
+    size: int
+    requester: TileAddr
+    uid: int = field(default_factory=_next_uid)
+
+
+@dataclass
+class NcWrite:
+    """Non-cacheable store of ``data`` at device offset ``offset``."""
+
+    offset: int
+    data: bytes
+    requester: TileAddr
+    uid: int = field(default_factory=_next_uid)
+
+
+@dataclass
+class NcResponse:
+    uid: int
+    data: bytes = b""
+
+
+@dataclass
+class PingReq:
+    """Latency-probe request (measurement machinery for Fig. 7)."""
+
+    requester: TileAddr
+    uid: int = field(default_factory=_next_uid)
+
+
+@dataclass
+class PingResp:
+    uid: int

@@ -1,0 +1,61 @@
+"""One node: NoC + tiles + chipset (+ inter-node bridge when multi-node).
+
+A node represents a single chip or die of the target system (paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..engine import Component, Simulator
+from ..interconnect import InterNodeBridge, PcieFabric
+from ..mem import MainMemory
+from ..noc import NodeNetwork
+from .addrmap import AddressMap
+from .chipset import Chipset
+from .tile import Tile
+
+#: NoC timing (calibrated so Fig. 7 reproduces ~100-cycle intra-node and
+#: ~250-cycle inter-node round trips with Table 2 parameters).
+NOC_HOP_LATENCY = 2
+NOC_LINK_LATENCY = 1
+NOC_CYCLES_PER_FLIT = 1.0
+NOC_CREDITS = 4
+
+
+class Node(Component):
+    """A BYOC instance: tiles in a mesh, chipset, optional bridge."""
+
+    def __init__(self, sim: Simulator, name: str, node_id: int, config,
+                 homing, addrmap: AddressMap,
+                 fabric: Optional[PcieFabric] = None):
+        super().__init__(sim, name)
+        self.node_id = node_id
+        self.config = config
+        self.addrmap = addrmap
+        self.network = NodeNetwork(sim, f"{name}/noc", node_id,
+                                   config.tiles_per_node,
+                                   hop_latency=NOC_HOP_LATENCY,
+                                   credits=NOC_CREDITS,
+                                   link_latency=NOC_LINK_LATENCY,
+                                   cycles_per_flit=NOC_CYCLES_PER_FLIT)
+        # Sparse functional store spanning the *global* address space: only
+        # the lines this node's DRAM actually backs get touched, so there is
+        # no double-storage — routing decides which node's DRAM serves a
+        # line, the content lives at its global address.
+        self.memory = MainMemory(addrmap.dram_total)
+        self.chipset = Chipset(sim, f"{name}/chipset", node_id, self,
+                               self.memory, config.params)
+        self.chipset.install_standard_devices(addrmap)
+        self.tiles: List[Tile] = []
+        for index in range(config.tiles_per_node):
+            from ..noc import TileAddr
+            tile = Tile(sim, f"{name}/t{index}", TileAddr(node_id, index),
+                        self, homing, config.params)
+            self.tiles.append(tile)
+        self.bridge: Optional[InterNodeBridge] = None
+        if fabric is not None:
+            self.bridge = InterNodeBridge(
+                sim, f"{name}/bridge", node_id, fabric, self.network,
+                shaper_latency=config.inter_node_shaper_latency,
+                shaper_cycles_per_flit=config.inter_node_shaper_cycles_per_flit)

@@ -1,0 +1,218 @@
+"""The SMAPPIC prototype: builds a full system from a configuration.
+
+This is the library's main entry point::
+
+    from repro import Prototype, parse_config
+
+    proto = Prototype(parse_config("4x1x12"))
+    latency = proto.measure_pair_latency(0, 13)
+
+The prototype wires up A FPGAs x B nodes x C tiles, the homing policy, the
+inter-node PCIe fabric, and exposes blocking-style helpers for driving
+memory traffic, plus the Fig. 7 latency probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cache import (CdrHoming, GlobalInterleaveHoming, MemOp,
+                     NodeRangeHoming, line_of, load, store)
+from ..engine import Simulator, merge_stat_groups
+from ..errors import ConfigError, SimulationError
+from ..interconnect import PcieFabric
+from ..noc import TileAddr
+from .addrmap import AddressMap
+from .config import PrototypeConfig, SystemParams, parse_config
+from .node import Node
+from .tile import Tile
+
+
+class Prototype:
+    """A fully built SMAPPIC system."""
+
+    def __init__(self, config: PrototypeConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.addrmap = AddressMap(config.n_nodes, config.dram_bytes_per_node)
+        self.homing = self._build_homing(config)
+        self.fabric: Optional[PcieFabric] = None
+        if config.n_nodes > 1 and config.coherent_interconnect:
+            placement = {node: config.fpga_of_node(node)
+                         for node in range(config.n_nodes)}
+            self.fabric = PcieFabric(self.sim, "fabric", placement)
+        self.nodes: List[Node] = [
+            Node(self.sim, f"n{node_id}", node_id, config, self.homing,
+                 self.addrmap, self.fabric)
+            for node_id in range(config.n_nodes)
+        ]
+
+    def _build_homing(self, config: PrototypeConfig):
+        if config.homing == "global":
+            return GlobalInterleaveHoming(config.n_nodes,
+                                          config.tiles_per_node)
+        if config.homing == "numa":
+            return NodeRangeHoming(config.n_nodes, config.tiles_per_node,
+                                   config.dram_bytes_per_node)
+        return CdrHoming(config.n_nodes, config.tiles_per_node)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def tile(self, node_id: int, tile_index: int) -> Tile:
+        return self.nodes[node_id].tiles[tile_index]
+
+    def tile_by_global_index(self, index: int) -> Tile:
+        node_id, tile_index = divmod(index, self.config.tiles_per_node)
+        return self.tile(node_id, tile_index)
+
+    def all_tiles(self) -> List[Tile]:
+        return [tile for node in self.nodes for tile in node.tiles]
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        return self.sim.run(until=until, max_events=max_events)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def seconds(self, cycles: int) -> float:
+        """Convert prototype cycles to wall-clock seconds at the
+        configuration's achievable frequency."""
+        return cycles / (self.config.achievable_frequency_mhz * 1e6)
+
+    # ------------------------------------------------------------------
+    # Blocking-style memory helpers (drive the sim until completion)
+    # ------------------------------------------------------------------
+    def mem_access(self, node_id: int, tile_index: int,
+                   op: MemOp) -> Tuple[Optional[bytes], int]:
+        """Run one cacheable access to completion; (result, cycles)."""
+        result: list = []
+        start = self.sim.now
+        self.tile(node_id, tile_index).mem_access(op, result.append)
+        self.sim.run()
+        if not result:
+            raise SimulationError(f"operation {op} never completed")
+        return result[0], self.sim.now - start
+
+    def read_u64(self, node_id: int, tile_index: int, addr: int) -> int:
+        data, _ = self.mem_access(node_id, tile_index, load(addr, 8))
+        return int.from_bytes(data, "little")
+
+    def write_u64(self, node_id: int, tile_index: int, addr: int,
+                  value: int) -> None:
+        self.mem_access(node_id, tile_index,
+                        store(addr, (value & (2 ** 64 - 1)).to_bytes(8, "little")))
+
+    # ------------------------------------------------------------------
+    # Functional memory access (host-side loaders; bypasses timing)
+    # ------------------------------------------------------------------
+    def load_image(self, addr: int, data: bytes,
+                   node_id: Optional[int] = None) -> None:
+        """Write ``data`` into backing DRAM before execution starts.
+
+        Routes each 64-byte line to the node whose DRAM backs it (per the
+        homing policy); with ``node_id`` the image goes into that node's
+        memory only (independent-node prototypes).
+        """
+        if node_id is not None:
+            self.nodes[node_id].memory.write(addr, data)
+            return
+        cursor = addr
+        view = memoryview(data)
+        requester = TileAddr(0, 0)
+        while view:
+            line = line_of(cursor)
+            take = min(64 - (cursor - line), len(view))
+            owner = self.homing.memory_node_of(line, requester)
+            self.nodes[owner].memory.write(cursor, bytes(view[:take]))
+            cursor += take
+            view = view[take:]
+
+    def peek_memory(self, addr: int, size: int,
+                    node_id: Optional[int] = None) -> bytes:
+        """Functional read of backing DRAM (does not see dirty cache lines)."""
+        if node_id is not None:
+            return self.nodes[node_id].memory.read(addr, size)
+        out = bytearray()
+        cursor = addr
+        remaining = size
+        requester = TileAddr(0, 0)
+        while remaining:
+            line = line_of(cursor)
+            take = min(64 - (cursor - line), remaining)
+            owner = self.homing.memory_node_of(line, requester)
+            out.extend(self.nodes[owner].memory.read(cursor, take))
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Latency probes (Fig. 7 machinery)
+    # ------------------------------------------------------------------
+    def address_homed_at(self, target: TileAddr, index: int = 0) -> int:
+        """A DRAM address whose home LLC slice is ``target``.
+
+        Only valid under global interleaving (the SMAPPIC default).
+        """
+        if self.config.homing != "global":
+            raise ConfigError("address_homed_at requires global homing")
+        total = self.config.total_tiles
+        global_tile = self.config.global_tile(target.node, target.tile)
+        return (global_tile + index * total) * 64
+
+    def measure_pair_latency(self, sender: int, receiver: int,
+                             probe_index: int = 0) -> int:
+        """Round-trip latency (cycles) from core ``sender`` to core
+        ``receiver`` (flat Fig. 7 indices): the time for the sender to load
+        a cache line that the receiver's core owns dirty and whose home
+        slice is the receiver's tile — a cache-line transfer between the
+        two cores through the coherence fabric.
+        """
+        src = self.tile_by_global_index(sender)
+        dst = self.tile_by_global_index(receiver)
+        addr = self.address_homed_at(dst.addr, index=1000 + probe_index)
+        # Receiver takes ownership (M) of the probe line.
+        self.mem_access(dst.addr.node, dst.addr.tile,
+                        store(addr, b"\xAA" * 8))
+        # Sender's load pulls the line across: request + downgrade + data.
+        _, cycles = self.mem_access(src.addr.node, src.addr.tile, load(addr))
+        return cycles
+
+    def latency_matrix(self, probes_per_pair: int = 1) -> List[List[int]]:
+        """Full Fig. 7 heatmap: total_tiles x total_tiles round trips."""
+        size = self.config.total_tiles
+        matrix = [[0] * size for _ in range(size)]
+        probe = 0
+        for sender in range(size):
+            for receiver in range(size):
+                samples = []
+                for _ in range(probes_per_pair):
+                    samples.append(
+                        self.measure_pair_latency(sender, receiver, probe))
+                    probe += 1
+                matrix[sender][receiver] = sum(samples) // len(samples)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats_report(self) -> Dict[str, float]:
+        groups = []
+        for node in self.nodes:
+            groups.append(node.chipset.controller.stats)
+            if node.bridge is not None:
+                groups.append(node.bridge.stats)
+            for tile in node.tiles:
+                groups.extend([tile.bpc.stats, tile.llc.stats,
+                               tile.l1.stats])
+        return merge_stat_groups(groups)
+
+
+def build(label: str, **kwargs) -> Prototype:
+    """Shorthand: ``build("4x1x12", homing="numa")``."""
+    return Prototype(parse_config(label, **kwargs))

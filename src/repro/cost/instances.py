@@ -1,0 +1,51 @@
+"""EC2 instance catalog and cheapest-fit selection (paper Table 3).
+
+The paper prices each modeling tool by the *cheapest suitable* EC2
+instance: enough vCPUs, enough memory, and an FPGA when required.  The
+catalog mirrors the paper's Table 3 rows (t3.m / r5.2xl / f1.2xl) plus
+larger memory hosts for the gem5 outliers it mentions (mcf completes only
+on a ~350 GB host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Ec2Instance:
+    name: str
+    vcpus: int
+    memory_gb: float
+    fpgas: int
+    price_per_hour: float
+
+
+#: Instance menu (paper-era on-demand prices).
+EC2_INSTANCES: Dict[str, Ec2Instance] = {
+    "t3.m": Ec2Instance("t3.m", 2, 8, 0, 0.04),
+    "r5.2xl": Ec2Instance("r5.2xl", 8, 64, 0, 0.45),
+    "r5.8xl": Ec2Instance("r5.8xl", 32, 256, 0, 1.80),
+    "x1e.4xl": Ec2Instance("x1e.4xl", 16, 488, 0, 3.34),
+    "f1.2xl": Ec2Instance("f1.2xl", 8, 122, 1, 1.65),
+    "f1.4xl": Ec2Instance("f1.4xl", 16, 244, 2, 3.30),
+    "f1.16xl": Ec2Instance("f1.16xl", 64, 976, 8, 13.20),
+}
+
+
+def cheapest_for(vcpus: int = 1, memory_gb: float = 1.0,
+                 fpgas: int = 0) -> Ec2Instance:
+    """Cheapest instance satisfying the requirements (Table 3's logic)."""
+    candidates: List[Ec2Instance] = [
+        inst for inst in EC2_INSTANCES.values()
+        if inst.vcpus >= vcpus and inst.memory_gb >= memory_gb
+        and inst.fpgas >= fpgas
+    ]
+    if not candidates:
+        raise ConfigError(
+            f"no instance offers {vcpus} vCPUs, {memory_gb} GB, "
+            f"{fpgas} FPGAs")
+    return min(candidates, key=lambda inst: inst.price_per_hour)

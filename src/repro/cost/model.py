@@ -1,0 +1,78 @@
+"""Fig. 13: modeling costs in dollars per SPECint benchmark per tool."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..workloads.spec import SPECINT_2017, total_instructions
+from .simulators import SIMULATORS, SimulatorModel
+
+#: Tools shown in Fig. 13 (gem5 excluded from the chart, as in the paper).
+FIG13_TOOLS = ("smappic", "firesim-single", "firesim-supernode", "sniper")
+
+
+def benchmark_costs(tools=FIG13_TOOLS) -> Dict[str, Dict[str, Optional[float]]]:
+    """Cost matrix: benchmark -> tool -> dollars (None = cannot run)."""
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for name, benchmark in sorted(SPECINT_2017.items()):
+        row: Dict[str, Optional[float]] = {}
+        for tool in tools:
+            model = SIMULATORS[tool]
+            if not model.supports(benchmark):
+                row[tool] = None
+                continue
+            row[tool] = model.cost_dollars(benchmark.dynamic_instructions,
+                                           benchmark)
+        out[name] = row
+    return out
+
+
+def suite_costs(tools=FIG13_TOOLS) -> Dict[str, Optional[float]]:
+    """The whole-suite 'SPECint 2017' bar (skipping unsupported runs)."""
+    out: Dict[str, Optional[float]] = {}
+    for tool in tools:
+        model = SIMULATORS[tool]
+        total = 0.0
+        for benchmark in SPECINT_2017.values():
+            if not model.supports(benchmark):
+                continue
+            total += model.cost_dollars(benchmark.dynamic_instructions,
+                                        benchmark)
+        out[tool] = total
+    return out
+
+
+def gem5_cost_ratio() -> float:
+    """How much more expensive gem5 is than SMAPPIC on the whole suite
+    (the paper reports 4-5 orders of magnitude)."""
+    gem5 = SIMULATORS["gem5"]
+    smappic = SIMULATORS["smappic"]
+    gem5_total = sum(
+        gem5.cost_dollars(b.dynamic_instructions, b)
+        for b in SPECINT_2017.values())
+    smappic_total = sum(
+        smappic.cost_dollars(b.dynamic_instructions, b)
+        for b in SPECINT_2017.values())
+    return gem5_total / smappic_total
+
+
+def verilator_cost_efficiency_ratio(prototype_cycles: int,
+                                    frequency_hz: float = 100e6) -> float:
+    """Sec. 4.5: how much more cost-efficient SMAPPIC is than Verilator
+    for the same workload (the paper derives ~1600x from the HelloWorld
+    measurement)."""
+    smappic = SIMULATORS["smappic"]
+    verilator = SIMULATORS["verilator"]
+    instructions = prototype_cycles * 0.7   # target IPC
+    smappic_cost = (prototype_cycles / frequency_hz / 3600.0
+                    * smappic.host_for().price_per_hour
+                    / smappic.instances_per_host)
+    verilator_cost = (verilator.runtime_seconds(instructions) / 3600.0
+                      * verilator.host_for().price_per_hour)
+    return verilator_cost / smappic_cost
+
+
+def verilator_runtime_seconds(prototype_cycles: int) -> float:
+    """Wall-clock Verilator needs for a workload of that many target
+    cycles (the paper's 65 s HelloWorld measurement)."""
+    return SIMULATORS["verilator"].runtime_seconds(prototype_cycles * 0.7)

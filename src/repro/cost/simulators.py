@@ -1,0 +1,137 @@
+"""Modeling-tool cost models (paper Sec. 4.5, Table 3, Fig. 13).
+
+Each tool is characterized by its simulation rate (target instructions per
+host second), its host requirements (which pick the cheapest EC2 instance),
+and how many independent target instances it can run per host:
+
+* **SMAPPIC** — the 1x4x2 configuration packs four independent prototypes
+  into one FPGA at 100 MHz, which is what makes it the cost winner;
+* **FireSim single-node** — similar frequency but one quad-core target per
+  FPGA (~4x the cost per simulated instruction);
+* **FireSim supernode** — four targets per FPGA but at a lower clock with
+  network simulation on (~2x SMAPPIC);
+* **Sniper** — a parallel software simulator (~1 MIPS), cheap host;
+* **gem5** — cycle-level (~5 KIPS), large-memory host: 4-5 orders of
+  magnitude more expensive, excluded from the paper's chart;
+* **Verilator** — RTL simulation (~4.5 kIPS); used for the Sec. 4.5
+  HelloWorld comparison.
+
+Quirks encoded from the paper: Sniper cannot run forking benchmarks
+(perlbench) and runs x86-64 binaries; gem5's mcf run needs ~350 GB of host
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import WorkloadError
+from ..workloads.spec import SpecBenchmark
+from .instances import Ec2Instance, cheapest_for
+
+#: Average IPC of the modeled in-order RISC-V target.
+TARGET_IPC = 0.7
+
+
+@dataclass(frozen=True)
+class SimulatorModel:
+    """One modeling tool."""
+
+    name: str
+    #: Simulated target instructions per host-second, per target instance.
+    instructions_per_second: float
+    #: Independent target instances per host.
+    instances_per_host: int
+    host_vcpus: int
+    host_memory_gb: float
+    host_fpgas: int
+    #: Can it run workloads that fork?
+    supports_forks: bool = True
+
+    def host_for(self, benchmark: Optional[SpecBenchmark] = None) -> Ec2Instance:
+        memory = self.host_memory_gb
+        if (benchmark is not None and self.name == "gem5"
+                and benchmark.gem5_memory_gb is not None):
+            memory = benchmark.gem5_memory_gb
+        return cheapest_for(vcpus=self.host_vcpus, memory_gb=memory,
+                            fpgas=self.host_fpgas)
+
+    def supports(self, benchmark: SpecBenchmark) -> bool:
+        return self.supports_forks or not benchmark.forks
+
+    # ------------------------------------------------------------------
+    # Costing
+    # ------------------------------------------------------------------
+    def runtime_seconds(self, instructions: float) -> float:
+        return instructions / self.instructions_per_second
+
+    def cost_dollars(self, instructions: float,
+                     benchmark: Optional[SpecBenchmark] = None) -> float:
+        """Dollars to simulate ``instructions`` target instructions.
+
+        The hourly price is divided by the number of independent targets
+        the host runs concurrently (the paper's amortization argument)."""
+        if benchmark is not None and not self.supports(benchmark):
+            raise WorkloadError(
+                f"{self.name} cannot run {benchmark.name}")
+        host = self.host_for(benchmark)
+        hours = self.runtime_seconds(instructions) / 3600.0
+        return hours * host.price_per_hour / self.instances_per_host
+
+
+def _mhz(value: float) -> float:
+    return value * 1e6
+
+
+#: The tool lineup of Fig. 13 (plus Verilator for Sec. 4.5).
+SIMULATORS: Dict[str, SimulatorModel] = {
+    "smappic": SimulatorModel(
+        name="smappic",
+        instructions_per_second=_mhz(100) * TARGET_IPC,
+        instances_per_host=4,             # 1x4x2 configuration
+        host_vcpus=1, host_memory_gb=8, host_fpgas=1),
+    "firesim-single": SimulatorModel(
+        name="firesim-single",
+        instructions_per_second=_mhz(100) * TARGET_IPC,
+        instances_per_host=1,
+        host_vcpus=1, host_memory_gb=8, host_fpgas=1),
+    "firesim-supernode": SimulatorModel(
+        name="firesim-supernode",
+        instructions_per_second=_mhz(50) * TARGET_IPC,
+        instances_per_host=4,
+        host_vcpus=1, host_memory_gb=8, host_fpgas=1),
+    "sniper": SimulatorModel(
+        name="sniper",
+        instructions_per_second=1.0e6,
+        instances_per_host=1,
+        host_vcpus=2, host_memory_gb=8, host_fpgas=0,
+        supports_forks=False),
+    "gem5": SimulatorModel(
+        name="gem5",
+        instructions_per_second=5.0e3,
+        instances_per_host=1,
+        host_vcpus=1, host_memory_gb=64, host_fpgas=0),
+    "verilator": SimulatorModel(
+        name="verilator",
+        instructions_per_second=4.5e3,
+        instances_per_host=1,
+        host_vcpus=1, host_memory_gb=8, host_fpgas=0),
+}
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    """Reproduce Table 3: host requirements and cheapest instances."""
+    rows = []
+    for name in ("sniper", "gem5", "verilator", "smappic"):
+        model = SIMULATORS[name]
+        host = model.host_for()
+        rows.append({
+            "tool": name,
+            "vcpus": model.host_vcpus,
+            "memory_gb": model.host_memory_gb,
+            "fpgas": model.host_fpgas,
+            "instance": host.name,
+            "price_per_hour": host.price_per_hour,
+        })
+    return rows

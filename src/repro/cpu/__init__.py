@@ -1,0 +1,18 @@
+"""Compute units: TRI port, trace-driven core, RISC-V core."""
+
+from .presets import CORE_TIMINGS, CoreTimings, timings_for
+from .trace_core import TraceCore
+from .tri import TriPort
+from .riscv import Assembler, Program, RiscvCore, assemble
+
+__all__ = [
+    "Assembler",
+    "CORE_TIMINGS",
+    "CoreTimings",
+    "Program",
+    "RiscvCore",
+    "TraceCore",
+    "TriPort",
+    "assemble",
+    "timings_for",
+]

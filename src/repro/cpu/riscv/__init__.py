@@ -1,0 +1,15 @@
+"""RV64IMA functional core, assembler, and ISA tables."""
+
+from .assembler import Assembler, Program, assemble
+from .cpu import RiscvCore
+from .isa import Instruction, decode, encode
+
+__all__ = [
+    "Assembler",
+    "Instruction",
+    "Program",
+    "RiscvCore",
+    "assemble",
+    "decode",
+    "encode",
+]

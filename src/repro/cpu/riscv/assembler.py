@@ -1,0 +1,357 @@
+"""Two-pass RISC-V assembler for the supported RV64IMA subset.
+
+Produces genuine machine code (via :mod:`.isa` encoders) from assembly
+text.  Supports labels, ABI register names, decimal/hex immediates, the
+usual pseudo-instructions (``li``/``la``/``mv``/``j``/``ret``/branches),
+and ``.dword``/``.word``/``.zero`` data directives — enough to write the
+multi-core test programs and accelerator drivers the case studies need.
+
+``li`` with a literal expands to the shortest correct sequence at parse
+time; ``la`` (symbol address, unknown until layout) reserves a fixed
+11-instruction slot that the emitter fills with the canonical chunked
+load, so the layout stays static across passes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import WorkloadError
+from .isa import (AMO_TYPE, B_TYPE, CSR_CYCLE, CSR_INSTRET, CSR_MHARTID,
+                  CSR_MIP, I_TYPE, Instruction, R_TYPE, S_TYPE, SHIFT32,
+                  SHIFT64, encode, sign_extend)
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+CSR_NAMES = {"cycle": CSR_CYCLE, "instret": CSR_INSTRET,
+             "mhartid": CSR_MHARTID, "mip": CSR_MIP}
+
+_MEM_OPERAND = re.compile(r"^(-?\w*)\((\w+)\)$")
+
+#: Fixed slot length (instructions) reserved for ``la``.
+LA_SLOT = 11
+
+
+def parse_register(token: str) -> int:
+    token = token.strip().lower()
+    if token in ABI_NAMES:
+        return ABI_NAMES[token]
+    if token.startswith("x") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg < 32:
+            return reg
+    raise WorkloadError(f"unknown register '{token}'")
+
+
+def parse_int(token: str) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise WorkloadError(f"bad integer '{token}'") from None
+
+
+def chunked_load_sequence(rd: str, value: int) -> List[str]:
+    """The canonical fixed-length (11 instruction) 64-bit constant load:
+    a 9-bit top chunk via addi, then five shift-11/or-11 steps."""
+    value &= (1 << 64) - 1
+    chunks = []
+    rest = value
+    for _ in range(5):
+        chunks.append(rest & 0x7FF)
+        rest >>= 11
+    top = rest  # 9 bits
+    out = [f"addi {rd}, x0, {top}"]
+    for chunk in reversed(chunks):
+        out.append(f"slli {rd}, {rd}, 11")
+        out.append(f"ori {rd}, {rd}, {chunk}")
+    return out
+
+
+def li_sequence(rd: str, value: int) -> List[str]:
+    """Shortest correct load of a literal constant."""
+    signed = sign_extend(value & ((1 << 64) - 1), 64)
+    if -2048 <= signed < 2048:
+        return [f"addi {rd}, x0, {signed}"]
+    if -(1 << 31) <= signed < (1 << 31):
+        upper = ((signed + 0x800) >> 12) & 0xFFFFF
+        lower = sign_extend(signed & 0xFFF, 12)
+        out = [f"lui {rd}, {upper}"]
+        if lower:
+            out.append(f"addiw {rd}, {rd}, {lower}")
+        else:
+            out.append(f"addiw {rd}, {rd}, 0")
+        return out
+    return chunked_load_sequence(rd, value)
+
+
+@dataclass
+class Program:
+    """Assembled output: a binary image plus symbols."""
+
+    image: bytes
+    base: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return self.symbols.get("_start", self.base)
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise WorkloadError(f"undefined symbol '{name}'")
+        return self.symbols[name]
+
+
+class Assembler:
+    """Two-pass assembler; ``externals`` pre-defines symbols (e.g. MMIO
+    bases computed by the platform)."""
+
+    def __init__(self, base: int = 0x1000,
+                 externals: Optional[Dict[str, int]] = None):
+        self.base = base
+        self.externals = dict(externals or {})
+
+    def assemble(self, source: str) -> Program:
+        statements = self._parse(source)
+        symbols = dict(self.externals)
+        symbols.update(self._layout(statements))
+        image = bytearray()
+        for addr, kind, body, line_no in statements:
+            try:
+                image.extend(self._emit(kind, str(body), addr, symbols))
+            except WorkloadError as error:
+                raise WorkloadError(f"line {line_no}: {error}") from None
+        return Program(image=bytes(image), base=self.base, symbols=symbols)
+
+    # ------------------------------------------------------------------
+    # Parsing and layout
+    # ------------------------------------------------------------------
+    def _parse(self, source: str) -> List[Tuple[int, str, object, int]]:
+        expanded: List[Tuple[str, object, int]] = []
+        for line_no, line in enumerate(source.splitlines(), start=1):
+            code = line.split("#", 1)[0].strip()
+            while ":" in code:
+                label, _, rest = code.partition(":")
+                expanded.append(("label", label.strip(), line_no))
+                code = rest.strip()
+            if not code:
+                continue
+            if code.startswith("."):
+                parts = code.split(None, 1)
+                expanded.append((parts[0],
+                                 parts[1] if len(parts) > 1 else "", line_no))
+                continue
+            try:
+                for real in self._expand_pseudo(code):
+                    expanded.append(("inst", real, line_no))
+            except WorkloadError as error:
+                raise WorkloadError(f"line {line_no}: {error}") from None
+        statements: List[Tuple[int, str, object, int]] = []
+        addr = self.base
+        for kind, body, line_no in expanded:
+            statements.append((addr, kind, body, line_no))
+            addr += self._size_of(kind, str(body), addr)
+        return statements
+
+    def _size_of(self, kind: str, body: str, addr: int) -> int:
+        if kind == "inst":
+            return 4
+        if kind == ".word":
+            return 4 * len(body.split(","))
+        if kind == ".dword":
+            return 8 * len(body.split(","))
+        if kind == ".zero":
+            return parse_int(body)
+        if kind == ".align":
+            granule = 1 << parse_int(body)
+            return (-addr) % granule
+        if kind in ("label", ".global", ".globl", ".text", ".data"):
+            return 0
+        raise WorkloadError(f"unknown directive '{kind}'")
+
+    def _layout(self, statements) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        for addr, kind, body, line_no in statements:
+            if kind == "label":
+                name = str(body)
+                if name in symbols:
+                    raise WorkloadError(
+                        f"line {line_no}: duplicate label '{name}'")
+                symbols[name] = addr
+        return symbols
+
+    # ------------------------------------------------------------------
+    # Pseudo-instructions
+    # ------------------------------------------------------------------
+    def _expand_pseudo(self, code: str) -> List[str]:
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        ops = [o.strip() for o in rest.split(",")] if rest else []
+
+        simple = {
+            "nop": lambda: ["addi x0, x0, 0"],
+            "ret": lambda: ["jalr x0, ra, 0"],
+        }
+        if mnemonic in simple and not ops:
+            return simple[mnemonic]()
+        if mnemonic == "mv" and len(ops) == 2:
+            return [f"addi {ops[0]}, {ops[1]}, 0"]
+        if mnemonic == "not" and len(ops) == 2:
+            return [f"xori {ops[0]}, {ops[1]}, -1"]
+        if mnemonic == "neg" and len(ops) == 2:
+            return [f"sub {ops[0]}, x0, {ops[1]}"]
+        if mnemonic == "j" and len(ops) == 1:
+            return [f"jal x0, {ops[0]}"]
+        if mnemonic == "jr" and len(ops) == 1:
+            return [f"jalr x0, {ops[0]}, 0"]
+        if mnemonic == "call" and len(ops) == 1:
+            return [f"jal ra, {ops[0]}"]
+        if mnemonic == "beqz" and len(ops) == 2:
+            return [f"beq {ops[0]}, x0, {ops[1]}"]
+        if mnemonic == "bnez" and len(ops) == 2:
+            return [f"bne {ops[0]}, x0, {ops[1]}"]
+        if mnemonic == "bgt" and len(ops) == 3:
+            return [f"blt {ops[1]}, {ops[0]}, {ops[2]}"]
+        if mnemonic == "ble" and len(ops) == 3:
+            return [f"bge {ops[1]}, {ops[0]}, {ops[2]}"]
+        if mnemonic == "seqz" and len(ops) == 2:
+            return [f"sltiu {ops[0]}, {ops[1]}, 1"]
+        if mnemonic == "snez" and len(ops) == 2:
+            return [f"sltu {ops[0]}, x0, {ops[1]}"]
+        if mnemonic == "li" and len(ops) == 2:
+            return li_sequence(ops[0], parse_int(ops[1]))
+        if mnemonic == "la" and len(ops) == 2:
+            return [f"__la__ {ops[0]}, {ops[1]}, {k}" for k in range(LA_SLOT)]
+        if mnemonic == "rdcycle" and len(ops) == 1:
+            return [f"csrrs {ops[0]}, cycle, x0"]
+        if mnemonic == "rdinstret" and len(ops) == 1:
+            return [f"csrrs {ops[0]}, instret, x0"]
+        if mnemonic == "rdhartid" and len(ops) == 1:
+            return [f"csrrs {ops[0]}, mhartid, x0"]
+        return [code]
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, body: str, addr: int,
+              symbols: Dict[str, int]) -> bytes:
+        if kind in ("label", ".global", ".globl", ".text", ".data"):
+            return b""
+        if kind == ".word":
+            return b"".join(
+                (parse_int(t) & 0xFFFFFFFF).to_bytes(4, "little")
+                for t in body.split(","))
+        if kind == ".dword":
+            out = bytearray()
+            for token in body.split(","):
+                token = token.strip()
+                value = symbols[token] if token in symbols \
+                    else parse_int(token)
+                out.extend((value & (1 << 64) - 1).to_bytes(8, "little"))
+            return bytes(out)
+        if kind == ".zero":
+            return b"\x00" * parse_int(body)
+        if kind == ".align":
+            granule = 1 << parse_int(body)
+            return b"\x00" * ((-addr) % granule)
+        return encode(self._parse_instruction(body, addr, symbols)) \
+            .to_bytes(4, "little")
+
+    def _resolve(self, token: str, symbols: Dict[str, int]) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token]
+        return parse_int(token)
+
+    def _parse_instruction(self, code: str, addr: int,
+                           symbols: Dict[str, int]) -> Instruction:
+        parts = code.split(None, 1)
+        m = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        ops = [o.strip() for o in rest.split(",")] if rest else []
+
+        if m == "__la__":
+            rd, symbol, index = ops[0], ops[1], parse_int(ops[2])
+            if symbol not in symbols:
+                raise WorkloadError(f"undefined symbol '{symbol}'")
+            sequence = chunked_load_sequence(rd, symbols[symbol])
+            return self._parse_instruction(sequence[index], addr, symbols)
+        if m in R_TYPE:
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[1]),
+                               rs2=parse_register(ops[2]))
+        if m in SHIFT64 or m in SHIFT32:
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[1]),
+                               imm=parse_int(ops[2]))
+        if m in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"):
+            offset, base_reg = self._mem_operand(ops[1])
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs1=base_reg, imm=offset)
+        if m in S_TYPE:
+            offset, base_reg = self._mem_operand(ops[1])
+            return Instruction(m, rs2=parse_register(ops[0]),
+                               rs1=base_reg, imm=offset)
+        if m in I_TYPE:   # addi family and jalr
+            if m == "jalr":
+                imm = parse_int(ops[2]) if len(ops) > 2 else 0
+                return Instruction(m, rd=parse_register(ops[0]),
+                                   rs1=parse_register(ops[1]), imm=imm)
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[1]),
+                               imm=parse_int(ops[2]))
+        if m in B_TYPE:
+            target = self._resolve(ops[2], symbols)
+            return Instruction(m, rs1=parse_register(ops[0]),
+                               rs2=parse_register(ops[1]), imm=target - addr)
+        if m == "jal":
+            if len(ops) == 1:
+                rd, target_token = "ra", ops[0]
+            else:
+                rd, target_token = ops[0], ops[1]
+            target = self._resolve(target_token, symbols)
+            return Instruction(m, rd=parse_register(rd), imm=target - addr)
+        if m in ("lui", "auipc"):
+            return Instruction(m, rd=parse_register(ops[0]),
+                               imm=parse_int(ops[1]) & 0xFFFFF)
+        if m in AMO_TYPE:
+            offset, base_reg = self._mem_operand(ops[2])
+            if offset:
+                raise WorkloadError(f"{m}: AMO offset must be 0")
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs2=parse_register(ops[1]), rs1=base_reg)
+        if m == "csrrs":
+            csr_token = ops[1].lower()
+            csr = CSR_NAMES.get(csr_token)
+            if csr is None:
+                csr = parse_int(csr_token)
+            return Instruction(m, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[2]), csr=csr)
+        if m in ("ecall", "ebreak", "fence", "wfi"):
+            return Instruction(m)
+        raise WorkloadError(f"unknown instruction '{code}'")
+
+    def _mem_operand(self, token: str) -> Tuple[int, int]:
+        match = _MEM_OPERAND.match(token.strip())
+        if match is None:
+            raise WorkloadError(f"bad memory operand '{token}'")
+        offset_token = match.group(1)
+        offset = parse_int(offset_token) if offset_token else 0
+        return offset, parse_register(match.group(2))
+
+
+def assemble(source: str, base: int = 0x1000,
+             externals: Optional[Dict[str, int]] = None) -> Program:
+    """Assemble ``source`` at ``base``; the usual entry point."""
+    return Assembler(base=base, externals=externals).assemble(source)

@@ -1,0 +1,441 @@
+"""Functional RV64IMA core with an Ariane-like timing envelope.
+
+Executes real machine code (from :mod:`.assembler` images) against the
+tile's memory hierarchy through the TRI: loads, stores, and AMOs travel the
+full L1 -> BPC -> NoC -> LLC path with their real latencies; ALU work costs
+one cycle per instruction (Ariane is a single-issue in-order core), with
+extra cycles for multiply/divide and taken branches.
+
+Instruction fetch is modeled as always hitting the L1I (16 KB per Table 2;
+the test programs fit trivially), so fetch adds no events.  The core batches
+consecutive non-memory instructions into one scheduled event to keep the
+event count proportional to memory operations, not instructions.
+
+Syscalls (ECALL) follow the minimal RISC-V proxy-kernel ABI:
+
+* ``a7=93``  exit(a0) — halts the core,
+* ``a7=64``  write(fd, buf, len) — bytes are *loaded through the cache
+  hierarchy* (so coherence is honored) and appended to ``console``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ...engine import Component, Simulator
+from ...errors import WorkloadError
+from ..tri import TriPort
+from .assembler import Program
+from .isa import (AMO_CACHE_OP, CSR_CYCLE, CSR_INSTRET, CSR_MHARTID,
+                  CSR_MIP, Instruction, MASK64, decode, sign_extend,
+                  to_signed32, to_signed64)
+
+#: Default extra cycles charged on top of the base 1 cycle (the Ariane
+#: preset; other core types come from :mod:`repro.cpu.presets`).
+MUL_EXTRA = 2
+DIV_EXTRA = 20
+TAKEN_BRANCH_EXTRA = 2
+
+#: Non-memory instructions executed per scheduled event.
+BATCH = 128
+
+SYS_EXIT = 93
+SYS_WRITE = 64
+
+
+class RiscvCore(Component):
+    """One Ariane-like core attached to a tile."""
+
+    def __init__(self, sim: Simulator, name: str, tile, addrmap,
+                 hartid: int = 0, core_type: str = "ariane"):
+        super().__init__(sim, name)
+        from ..presets import timings_for
+        self.timings = timings_for(core_type)
+        self.tile = tile
+        self.tri = TriPort(tile, addrmap)
+        self.hartid = hartid
+        self.regs: List[int] = [0] * 32
+        self.pc = 0
+        self.instret = 0
+        self.halted = False
+        self.exit_code: Optional[int] = None
+        self.console = bytearray()
+        self.finished_at: Optional[int] = None
+        self._text: Dict[int, Instruction] = {}   # decoded image cache
+        self._on_exit: Optional[Callable] = None
+        self._mmio_base = addrmap.mmio_base
+        self.irq = None             # InterruptDepacketizer when attached
+        self._wfi_sleeping = False
+        tile.attach_core(self)
+
+    def attach_interrupts(self):
+        """Wire the tile's interrupt depacketizer into the core.
+
+        Enables WFI (the core sleeps until any interrupt line rises) and
+        the mip CSR (a bitmap of currently pending causes) — the receive
+        end of the paper's packetized interrupt path (Sec. 3.3).
+        """
+        from ...irq.controller import InterruptDepacketizer
+        self.irq = InterruptDepacketizer(self.tile, self._irq_changed)
+        return self.irq
+
+    def _irq_changed(self, cause: int, level: bool) -> None:
+        self.stats.inc("irq_changes")
+        if level and self._wfi_sleeping:
+            self._wfi_sleeping = False
+            self.stats.inc("wfi_wakeups")
+            self.schedule(1, self._run_batch)
+
+    # ------------------------------------------------------------------
+    # Program loading / starting
+    # ------------------------------------------------------------------
+    def load_program(self, program: Program) -> None:
+        """Decode the image into the fetch cache (text is read-only)."""
+        image = program.image
+        for offset in range(0, len(image) - 3, 4):
+            word = int.from_bytes(image[offset:offset + 4], "little")
+            try:
+                self._text[program.base + offset] = decode(word)
+            except WorkloadError:
+                # Data embedded in the image; fetch will fault if jumped to.
+                pass
+
+    def start(self, entry: int, args: Optional[List[int]] = None,
+              sp: Optional[int] = None,
+              on_exit: Optional[Callable[["RiscvCore"], None]] = None) -> None:
+        """Begin execution at ``entry``; drive the simulator afterwards."""
+        self.pc = entry
+        self.halted = False
+        self.exit_code = None
+        self._on_exit = on_exit
+        for index, value in enumerate(args or []):
+            self.regs[10 + index] = value & MASK64
+        if sp is not None:
+            self.regs[2] = sp
+        self.schedule(0, self._run_batch)
+
+    # ------------------------------------------------------------------
+    # Execution loop
+    # ------------------------------------------------------------------
+    def _fetch(self, pc: int) -> Instruction:
+        inst = self._text.get(pc)
+        if inst is None:
+            raise WorkloadError(
+                f"{self.name}: fetch fault at pc={pc:#x}")
+        return inst
+
+    def _run_batch(self) -> None:
+        """Execute until a memory op, a halt, or BATCH instructions."""
+        cycles = 0.0
+        per_inst = self.timings.cycles_per_instruction
+        for _ in range(BATCH):
+            if self.halted:
+                return
+            inst = self._fetch(self.pc)
+            handled, extra = self._execute_alu(inst)
+            if handled:
+                cycles += per_inst + extra
+                self.instret += 1
+                continue
+            # Memory instruction: charge accumulated cycles, then issue.
+            self.schedule(int(cycles), self._issue_memory, inst)
+            return
+        self.schedule(int(cycles), self._run_batch)
+
+    def _resume(self, extra_cycles: int = 0) -> None:
+        self.instret += 1
+        self.schedule(1 + extra_cycles, self._run_batch)
+
+    # ------------------------------------------------------------------
+    # ALU / control instructions (return (handled, extra_cycles))
+    # ------------------------------------------------------------------
+    def _execute_alu(self, inst: Instruction):
+        m = inst.mnemonic
+        regs = self.regs
+        rs1 = regs[inst.rs1]
+        rs2 = regs[inst.rs2]
+
+        def setrd(value: int) -> None:
+            if inst.rd:
+                regs[inst.rd] = value & MASK64
+
+        next_pc = self.pc + 4
+        extra = 0
+
+        if m == "addi":
+            setrd(rs1 + inst.imm)
+        elif m == "add":
+            setrd(rs1 + rs2)
+        elif m == "sub":
+            setrd(rs1 - rs2)
+        elif m == "andi":
+            setrd(rs1 & (inst.imm & MASK64))
+        elif m == "ori":
+            setrd(rs1 | (inst.imm & MASK64))
+        elif m == "xori":
+            setrd(rs1 ^ (inst.imm & MASK64))
+        elif m == "and":
+            setrd(rs1 & rs2)
+        elif m == "or":
+            setrd(rs1 | rs2)
+        elif m == "xor":
+            setrd(rs1 ^ rs2)
+        elif m == "slti":
+            setrd(1 if to_signed64(rs1) < inst.imm else 0)
+        elif m == "sltiu":
+            setrd(1 if rs1 < (inst.imm & MASK64) else 0)
+        elif m == "slt":
+            setrd(1 if to_signed64(rs1) < to_signed64(rs2) else 0)
+        elif m == "sltu":
+            setrd(1 if rs1 < rs2 else 0)
+        elif m == "slli":
+            setrd(rs1 << inst.imm)
+        elif m == "srli":
+            setrd(rs1 >> inst.imm)
+        elif m == "srai":
+            setrd(to_signed64(rs1) >> inst.imm)
+        elif m == "addiw":
+            setrd(to_signed32(rs1 + inst.imm))
+        elif m == "addw":
+            setrd(to_signed32(rs1 + rs2))
+        elif m == "subw":
+            setrd(to_signed32(rs1 - rs2))
+        elif m == "slliw":
+            setrd(to_signed32(rs1 << inst.imm))
+        elif m == "srliw":
+            setrd(to_signed32((rs1 & 0xFFFFFFFF) >> inst.imm))
+        elif m == "sraiw":
+            setrd(to_signed32(to_signed32(rs1) >> inst.imm))
+        elif m == "sllw":
+            setrd(to_signed32(rs1 << (rs2 & 31)))
+        elif m == "srlw":
+            setrd(to_signed32((rs1 & 0xFFFFFFFF) >> (rs2 & 31)))
+        elif m == "sraw":
+            setrd(to_signed32(to_signed32(rs1) >> (rs2 & 31)))
+        elif m == "sll":
+            setrd(rs1 << (rs2 & 63))
+        elif m == "srl":
+            setrd(rs1 >> (rs2 & 63))
+        elif m == "sra":
+            setrd(to_signed64(rs1) >> (rs2 & 63))
+        elif m == "lui":
+            setrd(sign_extend(inst.imm << 12, 32))
+        elif m == "auipc":
+            setrd(self.pc + sign_extend(inst.imm << 12, 32))
+        elif m == "jal":
+            setrd(self.pc + 4)
+            next_pc = self.pc + inst.imm
+            extra = self.timings.taken_branch_extra
+        elif m == "jalr":
+            target = (rs1 + inst.imm) & ~1
+            setrd(self.pc + 4)
+            next_pc = target
+            extra = self.timings.taken_branch_extra
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": to_signed64(rs1) < to_signed64(rs2),
+                "bge": to_signed64(rs1) >= to_signed64(rs2),
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[m]
+            if taken:
+                next_pc = self.pc + inst.imm
+                extra = self.timings.taken_branch_extra
+        elif m == "mul":
+            setrd(rs1 * rs2)
+            extra = self.timings.mul_extra
+        elif m == "mulw":
+            setrd(to_signed32(rs1 * rs2))
+            extra = self.timings.mul_extra
+        elif m == "mulh":
+            setrd((to_signed64(rs1) * to_signed64(rs2)) >> 64)
+            extra = self.timings.mul_extra
+        elif m == "mulhu":
+            setrd((rs1 * rs2) >> 64)
+            extra = self.timings.mul_extra
+        elif m == "mulhsu":
+            setrd((to_signed64(rs1) * rs2) >> 64)
+            extra = self.timings.mul_extra
+        elif m in ("div", "divu", "rem", "remu", "divw", "divuw",
+                   "remw", "remuw"):
+            setrd(self._divide(m, rs1, rs2))
+            extra = self.timings.div_extra
+        elif m == "csrrs":
+            # Batch-breaking: cycle/instret must observe advanced sim time,
+            # so CSR reads resolve on the issue path like memory ops.
+            return False, 0
+        elif m == "fence":
+            pass
+        elif m == "ecall":
+            return False, 0   # handled on the issue path (may do memory I/O)
+        elif m == "wfi":
+            return False, 0   # handled on the issue path (may sleep)
+        elif m == "ebreak":
+            self._halt(exit_code=self.regs[10])
+            return True, 0
+        else:
+            return False, 0   # memory instruction
+        self.pc = next_pc
+        return True, extra
+
+    @staticmethod
+    def _divide(m: str, rs1: int, rs2: int) -> int:
+        wide = not m.endswith("w")
+        if wide:
+            a, b = to_signed64(rs1), to_signed64(rs2)
+            ua, ub = rs1, rs2
+            bits = 64
+        else:
+            a, b = to_signed32(rs1), to_signed32(rs2 & 0xFFFFFFFF)
+            ua, ub = rs1 & 0xFFFFFFFF, rs2 & 0xFFFFFFFF
+            bits = 32
+        signed = m in ("div", "rem", "divw", "remw")
+        if signed:
+            if b == 0:
+                result = -1 if m.startswith("div") else a
+            else:
+                quotient = int(a / b)  # RISC-V truncates toward zero
+                result = quotient if m.startswith("div") else a - b * quotient
+        else:
+            if ub == 0:
+                result = (1 << bits) - 1 if m.startswith("div") else ua
+            else:
+                result = ua // ub if m.startswith("div") else ua % ub
+        return sign_extend(result & ((1 << bits) - 1), bits) & MASK64 \
+            if not wide else result & MASK64
+
+    def _read_csr(self, csr: int) -> int:
+        if csr == CSR_CYCLE:
+            return self.now
+        if csr == CSR_INSTRET:
+            return self.instret
+        if csr == CSR_MHARTID:
+            return self.hartid
+        if csr == CSR_MIP:
+            if self.irq is None:
+                return 0
+            return sum(1 << cause
+                       for cause, level in self.irq.levels.items() if level)
+        raise WorkloadError(f"{self.name}: unimplemented CSR {csr:#x}")
+
+    # ------------------------------------------------------------------
+    # Memory instructions
+    # ------------------------------------------------------------------
+    _LOAD_SIZES = {"lb": 1, "lh": 2, "lw": 4, "ld": 8,
+                   "lbu": 1, "lhu": 2, "lwu": 4}
+    _STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+    def _issue_memory(self, inst: Instruction) -> None:
+        m = inst.mnemonic
+        regs = self.regs
+        if m == "ecall":
+            self._syscall()
+            return
+        if m == "csrrs":
+            if inst.rd:
+                self.regs[inst.rd] = self._read_csr(inst.csr) & MASK64
+            self.pc += 4
+            self._resume()
+            return
+        if m == "wfi":
+            self.pc += 4
+            if self.irq is not None and not self.irq.any_pending():
+                self._wfi_sleeping = True
+                self.stats.inc("wfi_sleeps")
+                return      # _irq_changed resumes the core
+            self._resume()
+            return
+        if m in self._LOAD_SIZES:
+            size = self._LOAD_SIZES[m]
+            addr = (regs[inst.rs1] + inst.imm) & MASK64
+            signed = not m.endswith("u") and m != "ld"
+
+            def loaded(data: bytes, rd=inst.rd) -> None:
+                value = int.from_bytes(data, "little")
+                if signed:
+                    value = sign_extend(value, size * 8) & MASK64
+                if rd:
+                    regs[rd] = value
+                self.pc += 4
+                self._resume()
+
+            if self.tri.addrmap.is_mmio(addr):
+                self.tri.nc_load(addr, size, loaded)
+            else:
+                self.tri.load(addr, size, loaded)
+            return
+        if m in self._STORE_SIZES:
+            size = self._STORE_SIZES[m]
+            addr = (regs[inst.rs1] + inst.imm) & MASK64
+            data = (regs[inst.rs2] & ((1 << (size * 8)) - 1)) \
+                .to_bytes(size, "little")
+
+            def stored(_result) -> None:
+                self.pc += 4
+                self._resume()
+
+            if self.tri.addrmap.is_mmio(addr):
+                self.tri.nc_store(addr, data, stored)
+            else:
+                self.tri.store(addr, data, stored)
+            return
+        if m.startswith("amo"):
+            base_op = m.split(".")[0]
+            size = 8 if m.endswith(".d") else 4
+            addr = regs[inst.rs1] & MASK64
+            operand = regs[inst.rs2] & ((1 << (size * 8)) - 1)
+
+            def amo_done(old: bytes, rd=inst.rd) -> None:
+                value = int.from_bytes(old, "little")
+                if size == 4:
+                    value = to_signed32(value) & MASK64
+                if rd:
+                    regs[rd] = value
+                self.pc += 4
+                self._resume()
+
+            self.tri.atomic(addr, AMO_CACHE_OP[base_op], operand, size,
+                            amo_done)
+            return
+        raise WorkloadError(f"{self.name}: cannot execute {inst}")
+
+    # ------------------------------------------------------------------
+    # Syscalls
+    # ------------------------------------------------------------------
+    def _syscall(self) -> None:
+        number = self.regs[17]    # a7
+        if number == SYS_EXIT:
+            self._halt(exit_code=to_signed64(self.regs[10]))
+            return
+        if number == SYS_WRITE:
+            buf = self.regs[11]
+            length = self.regs[12]
+            self.pc += 4
+            self._read_console_bytes(buf, length, bytearray())
+            return
+        raise WorkloadError(f"{self.name}: unknown syscall {number}")
+
+    def _read_console_bytes(self, addr: int, remaining: int,
+                            collected: bytearray) -> None:
+        if remaining == 0:
+            self.console.extend(collected)
+            self.regs[10] = len(collected)
+            self._resume()
+            return
+        take = min(remaining, 8, 64 - addr % 64)
+        self.tri.load(addr, take, lambda data: self._read_console_bytes(
+            addr + take, remaining - take, collected + bytearray(data)))
+
+    def _halt(self, exit_code: int) -> None:
+        self.halted = True
+        self.exit_code = exit_code
+        self.finished_at = self.now
+        self.stats.inc("halts")
+        if self._on_exit is not None:
+            self._on_exit(self)
+
+    @property
+    def console_text(self) -> str:
+        return self.console.decode(errors="replace")

@@ -1,0 +1,283 @@
+"""RV64IMA subset: instruction encoding and decoding.
+
+Real 32-bit RISC-V machine code: the assembler emits these encodings into
+memory and the core decodes them back, so programs are genuine binary
+images (round-trip tested).  Supported: RV64I base, M (multiply/divide),
+and the AMO subset of A (no LR/SC), plus ECALL/EBREAK/FENCE and the
+read-only CSRs cycle/instret/mhartid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...errors import WorkloadError
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+# CSR addresses we implement (read-only).
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+CSR_MHARTID = 0xF14
+CSR_MIP = 0x344
+
+
+def sign_extend(value: int, bits: int) -> int:
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_signed64(value: int) -> int:
+    return sign_extend(value & MASK64, 64)
+
+
+def to_signed32(value: int) -> int:
+    return sign_extend(value & MASK32, 32)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.mnemonic} rd=x{self.rd} rs1=x{self.rs1} "
+                f"rs2=x{self.rs2} imm={self.imm}")
+
+
+# ---------------------------------------------------------------------------
+# Encoding tables
+# ---------------------------------------------------------------------------
+
+# R-type: mnemonic -> (opcode, funct3, funct7)
+R_TYPE: Dict[str, Tuple[int, int, int]] = {
+    "add": (0x33, 0, 0x00), "sub": (0x33, 0, 0x20),
+    "sll": (0x33, 1, 0x00), "slt": (0x33, 2, 0x00),
+    "sltu": (0x33, 3, 0x00), "xor": (0x33, 4, 0x00),
+    "srl": (0x33, 5, 0x00), "sra": (0x33, 5, 0x20),
+    "or": (0x33, 6, 0x00), "and": (0x33, 7, 0x00),
+    "mul": (0x33, 0, 0x01), "mulh": (0x33, 1, 0x01),
+    "mulhsu": (0x33, 2, 0x01), "mulhu": (0x33, 3, 0x01),
+    "div": (0x33, 4, 0x01), "divu": (0x33, 5, 0x01),
+    "rem": (0x33, 6, 0x01), "remu": (0x33, 7, 0x01),
+    "addw": (0x3B, 0, 0x00), "subw": (0x3B, 0, 0x20),
+    "sllw": (0x3B, 1, 0x00), "srlw": (0x3B, 5, 0x00),
+    "sraw": (0x3B, 5, 0x20),
+    "mulw": (0x3B, 0, 0x01), "divw": (0x3B, 4, 0x01),
+    "divuw": (0x3B, 5, 0x01), "remw": (0x3B, 6, 0x01),
+    "remuw": (0x3B, 7, 0x01),
+}
+
+# I-type: mnemonic -> (opcode, funct3)
+I_TYPE: Dict[str, Tuple[int, int]] = {
+    "addi": (0x13, 0), "slti": (0x13, 2), "sltiu": (0x13, 3),
+    "xori": (0x13, 4), "ori": (0x13, 6), "andi": (0x13, 7),
+    "addiw": (0x1B, 0),
+    "lb": (0x03, 0), "lh": (0x03, 1), "lw": (0x03, 2), "ld": (0x03, 3),
+    "lbu": (0x03, 4), "lhu": (0x03, 5), "lwu": (0x03, 6),
+    "jalr": (0x67, 0),
+}
+
+# Shift-immediate: 64-bit shifts carry funct6 at bits 31:26 (6-bit shamt),
+# the W variants carry funct7 at bits 31:25 (5-bit shamt).
+SHIFT64: Dict[str, Tuple[int, int]] = {        # mnemonic -> (funct3, funct6)
+    "slli": (1, 0x00), "srli": (5, 0x00), "srai": (5, 0x10),
+}
+SHIFT32: Dict[str, Tuple[int, int]] = {        # mnemonic -> (funct3, funct7)
+    "slliw": (1, 0x00), "srliw": (5, 0x00), "sraiw": (5, 0x20),
+}
+
+# S-type stores: mnemonic -> funct3
+S_TYPE: Dict[str, int] = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+
+# B-type branches: mnemonic -> funct3
+B_TYPE: Dict[str, int] = {
+    "beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+# AMO (A extension subset): mnemonic -> (funct5, funct3)
+AMO_TYPE: Dict[str, Tuple[int, int]] = {
+    "amoswap.w": (0x01, 2), "amoadd.w": (0x00, 2),
+    "amoxor.w": (0x04, 2), "amoand.w": (0x0C, 2), "amoor.w": (0x08, 2),
+    "amoswap.d": (0x01, 3), "amoadd.d": (0x00, 3),
+    "amoxor.d": (0x04, 3), "amoand.d": (0x0C, 3), "amoor.d": (0x08, 3),
+}
+
+#: AMO mnemonic -> the cache layer's operation name.
+AMO_CACHE_OP = {"amoswap": "swap", "amoadd": "add", "amoxor": "xor",
+                "amoand": "and", "amoor": "or"}
+
+
+# ---------------------------------------------------------------------------
+# Encoders
+# ---------------------------------------------------------------------------
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise WorkloadError(f"register x{reg} out of range")
+    return reg
+
+
+def encode(inst: Instruction) -> int:
+    """Encode to a 32-bit word."""
+    m = inst.mnemonic
+    rd, rs1, rs2 = (_check_reg(inst.rd), _check_reg(inst.rs1),
+                    _check_reg(inst.rs2))
+    imm = inst.imm
+    if m in R_TYPE:
+        opcode, f3, f7 = R_TYPE[m]
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | opcode
+    if m in I_TYPE:
+        opcode, f3 = I_TYPE[m]
+        if not -2048 <= imm < 2048:
+            raise WorkloadError(f"{m}: immediate {imm} out of I range")
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | opcode
+    if m in SHIFT64:
+        f3, f6 = SHIFT64[m]
+        if not 0 <= imm < 64:
+            raise WorkloadError(f"{m}: shift amount {imm} out of range")
+        return (f6 << 26) | (imm << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | 0x13
+    if m in SHIFT32:
+        f3, f7 = SHIFT32[m]
+        if not 0 <= imm < 32:
+            raise WorkloadError(f"{m}: shift amount {imm} out of range")
+        return (f7 << 25) | (imm << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | 0x1B
+    if m in S_TYPE:
+        if not -2048 <= imm < 2048:
+            raise WorkloadError(f"{m}: immediate {imm} out of S range")
+        f3 = S_TYPE[m]
+        value = imm & 0xFFF
+        return ((value >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (f3 << 12) | ((value & 0x1F) << 7) | 0x23
+    if m in B_TYPE:
+        if imm % 2 or not -4096 <= imm < 4096:
+            raise WorkloadError(f"{m}: branch offset {imm} invalid")
+        f3 = B_TYPE[m]
+        value = imm & 0x1FFF
+        return (((value >> 12) & 1) << 31) | (((value >> 5) & 0x3F) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (((value >> 1) & 0xF) << 8) | (((value >> 11) & 1) << 7) | 0x63
+    if m == "lui" or m == "auipc":
+        opcode = 0x37 if m == "lui" else 0x17
+        if not 0 <= imm < (1 << 20):
+            raise WorkloadError(f"{m}: immediate {imm} out of U range")
+        return (imm << 12) | (rd << 7) | opcode
+    if m == "jal":
+        if imm % 2 or not -(1 << 20) <= imm < (1 << 20):
+            raise WorkloadError(f"jal: offset {imm} invalid")
+        value = imm & 0x1FFFFF
+        return (((value >> 20) & 1) << 31) | (((value >> 1) & 0x3FF) << 21) \
+            | (((value >> 11) & 1) << 20) | (((value >> 12) & 0xFF) << 12) \
+            | (rd << 7) | 0x6F
+    if m in AMO_TYPE:
+        f5, f3 = AMO_TYPE[m]
+        return (f5 << 27) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | 0x2F
+    if m == "csrrs":
+        return (inst.csr << 20) | (rs1 << 15) | (2 << 12) | (rd << 7) | 0x73
+    if m == "ecall":
+        return 0x00000073
+    if m == "ebreak":
+        return 0x00100073
+    if m == "wfi":
+        return 0x10500073
+    if m == "fence":
+        return 0x0000000F
+    raise WorkloadError(f"cannot encode unknown mnemonic '{m}'")
+
+
+# ---------------------------------------------------------------------------
+# Decoder
+# ---------------------------------------------------------------------------
+
+_R_BY_KEY = {(op, f3, f7): m for m, (op, f3, f7) in R_TYPE.items()}
+_I_BY_KEY = {(op, f3): m for m, (op, f3) in I_TYPE.items()}
+_SHIFT64_BY_KEY = {(f3, f6): m for m, (f3, f6) in SHIFT64.items()}
+_SHIFT32_BY_KEY = {(f3, f7): m for m, (f3, f7) in SHIFT32.items()}
+_S_BY_F3 = {f3: m for m, f3 in S_TYPE.items()}
+_B_BY_F3 = {f3: m for m, f3 in B_TYPE.items()}
+_AMO_BY_KEY = {(f5, f3): m for m, (f5, f3) in AMO_TYPE.items()}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises WorkloadError on unknown encodings."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    f3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    f7 = (word >> 25) & 0x7F
+
+    if opcode in (0x33, 0x3B):
+        mnemonic = _R_BY_KEY.get((opcode, f3, f7))
+        if mnemonic is None:
+            raise WorkloadError(f"unknown R-type {word:#010x}")
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x13 and f3 in (1, 5):
+        mnemonic = _SHIFT64_BY_KEY.get((f3, (word >> 26) & 0x3F))
+        if mnemonic is None:
+            raise WorkloadError(f"unknown shift {word:#010x}")
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=(word >> 20) & 0x3F)
+    if opcode == 0x1B and f3 in (1, 5):
+        mnemonic = _SHIFT32_BY_KEY.get((f3, f7))
+        if mnemonic is None:
+            raise WorkloadError(f"unknown shiftw {word:#010x}")
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=(word >> 20) & 0x1F)
+    if opcode in (0x13, 0x1B, 0x03, 0x67):
+        mnemonic = _I_BY_KEY.get((opcode, f3))
+        if mnemonic is None:
+            raise WorkloadError(f"unknown I-type {word:#010x}")
+        return Instruction(mnemonic, rd=rd, rs1=rs1,
+                           imm=sign_extend(word >> 20, 12))
+    if opcode == 0x23:
+        mnemonic = _S_BY_F3.get(f3)
+        if mnemonic is None:
+            raise WorkloadError(f"unknown store {word:#010x}")
+        imm = sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == 0x63:
+        mnemonic = _B_BY_F3.get(f3)
+        if mnemonic is None:
+            raise WorkloadError(f"unknown branch {word:#010x}")
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2,
+                           imm=sign_extend(imm, 13))
+    if opcode == 0x37:
+        return Instruction("lui", rd=rd, imm=word >> 12)
+    if opcode == 0x17:
+        return Instruction("auipc", rd=rd, imm=word >> 12)
+    if opcode == 0x6F:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instruction("jal", rd=rd, imm=sign_extend(imm, 21))
+    if opcode == 0x2F:
+        f5 = (word >> 27) & 0x1F
+        mnemonic = _AMO_BY_KEY.get((f5, f3))
+        if mnemonic is None:
+            raise WorkloadError(f"unknown AMO {word:#010x}")
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x73:
+        if word == 0x00000073:
+            return Instruction("ecall")
+        if word == 0x00100073:
+            return Instruction("ebreak")
+        if word == 0x10500073:
+            return Instruction("wfi")
+        if f3 == 2:
+            return Instruction("csrrs", rd=rd, rs1=rs1, csr=word >> 20)
+        raise WorkloadError(f"unknown system op {word:#010x}")
+    if opcode == 0x0F:
+        return Instruction("fence")
+    raise WorkloadError(f"unknown opcode {opcode:#x} in {word:#010x}")

@@ -1,0 +1,134 @@
+"""Trace-driven core: runs generator-style programs through the TRI.
+
+A program is a Python generator that yields requests built with the core's
+helper methods and receives each result back::
+
+    def pointer_chase(core):
+        addr = HEAD
+        for _ in range(100):
+            data = yield core.load(addr)
+            addr = int.from_bytes(data, "little")
+        core.result = addr
+
+This is the workhorse behind the microbenchmark case studies (GNG fetch
+loops, MAPLE kernels, HelloWorld) — the trace core plays the role of the
+software running on Ariane, with each yield being one memory instruction
+plus ``delay`` for the compute between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..engine import Component, Simulator
+from ..errors import WorkloadError
+from .tri import TriPort
+
+
+@dataclass
+class _Request:
+    kind: str                      # load/store/atomic/nc_load/nc_store/delay
+    addr: int = 0
+    size: int = 8
+    data: bytes = b""
+    operation: str = ""
+    value: int = 0
+    cycles: int = 0
+
+
+class TraceCore(Component):
+    """Generator-driven compute unit attached to one tile."""
+
+    def __init__(self, sim: Simulator, name: str, tile, addrmap,
+                 issue_latency: int = 1):
+        super().__init__(sim, name)
+        self.tile = tile
+        self.tri = TriPort(tile, addrmap)
+        self.issue_latency = issue_latency
+        self.result: Any = None
+        self.finished_at: Optional[int] = None
+        self._running = False
+        tile.attach_core(self)
+
+    # ------------------------------------------------------------------
+    # Request constructors (used inside programs via ``yield core.load(..)``)
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int = 8) -> _Request:
+        return _Request("load", addr=addr, size=size)
+
+    def store(self, addr: int, data: bytes) -> _Request:
+        return _Request("store", addr=addr, size=len(data), data=data)
+
+    def store_u64(self, addr: int, value: int) -> _Request:
+        return self.store(addr, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    def atomic(self, addr: int, operation: str, value: int,
+               size: int = 8) -> _Request:
+        return _Request("atomic", addr=addr, size=size, operation=operation,
+                        value=value)
+
+    def nc_load(self, addr: int, size: int = 8) -> _Request:
+        return _Request("nc_load", addr=addr, size=size)
+
+    def nc_store(self, addr: int, data: bytes) -> _Request:
+        return _Request("nc_store", addr=addr, size=len(data), data=data)
+
+    def delay(self, cycles: int) -> _Request:
+        return _Request("delay", cycles=cycles)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_program(self, program: Callable[["TraceCore"], Generator],
+                    on_exit: Optional[Callable[["TraceCore"], None]] = None
+                    ) -> None:
+        """Start executing ``program(self)``; returns immediately.
+
+        The simulation must then be driven (``sim.run()``); ``on_exit``
+        fires when the generator finishes.
+        """
+        if self._running:
+            raise WorkloadError(f"{self.name}: already running a program")
+        self._running = True
+        self.finished_at = None
+        generator = program(self)
+        self.schedule(0, self._advance, generator, None, on_exit)
+
+    def _advance(self, generator: Generator, send_value,
+                 on_exit: Optional[Callable]) -> None:
+        try:
+            request = generator.send(send_value)
+        except StopIteration:
+            self._running = False
+            self.finished_at = self.now
+            self.stats.inc("programs_finished")
+            if on_exit is not None:
+                on_exit(self)
+            return
+        if not isinstance(request, _Request):
+            raise WorkloadError(
+                f"{self.name}: program yielded {request!r}, not a request")
+        self.stats.inc(f"req_{request.kind}")
+        resume = lambda result=None: self.schedule(
+            self.issue_latency, self._advance, generator, result, on_exit)
+        if request.kind == "delay":
+            self.schedule(request.cycles, self._advance, generator, None,
+                          on_exit)
+        elif request.kind == "load":
+            self.tri.load(request.addr, request.size, resume)
+        elif request.kind == "store":
+            self.tri.store(request.addr, request.data, resume)
+        elif request.kind == "atomic":
+            self.tri.atomic(request.addr, request.operation, request.value,
+                            request.size, resume)
+        elif request.kind == "nc_load":
+            self.tri.nc_load(request.addr, request.size, resume)
+        elif request.kind == "nc_store":
+            self.tri.nc_store(request.addr, request.data, resume)
+        else:
+            raise WorkloadError(f"{self.name}: bad request {request!r}")
+
+    @property
+    def running(self) -> bool:
+        return self._running

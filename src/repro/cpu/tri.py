@@ -1,0 +1,61 @@
+"""Transaction-Response Interface (TRI).
+
+BYOC's TRI is the gateway between a compute unit and the memory subsystem:
+it isolates the core from the coherence protocol (paper Sec. 2.2).  Here it
+is the object a core (trace-driven or RISC-V) holds to touch the world:
+cacheable loads/stores/atomics through L1->BPC, non-cacheable MMIO through
+the NoC, and interrupt lines in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cache.ops import MemOp, OpKind, amo, load, store
+from ..core.addrmap import AddressMap
+from ..core.nc import NcRead, NcWrite
+from ..errors import ConfigError
+
+
+class TriPort:
+    """One tile's TRI: the core-side API of the memory system."""
+
+    def __init__(self, tile, addrmap: AddressMap):
+        self.tile = tile
+        self.addrmap = addrmap
+
+    # ------------------------------------------------------------------
+    # Cacheable path
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int, on_done: Callable) -> None:
+        self.tile.mem_access(load(addr, size), on_done)
+
+    def store(self, addr: int, data: bytes, on_done: Callable) -> None:
+        self.tile.mem_access(store(addr, data), on_done)
+
+    def atomic(self, addr: int, operation: str, value: int, size: int,
+               on_done: Callable) -> None:
+        self.tile.mem_access(amo(addr, operation, value, size), on_done)
+
+    def access(self, op: MemOp, on_done: Callable) -> None:
+        self.tile.mem_access(op, on_done)
+
+    # ------------------------------------------------------------------
+    # Non-cacheable (MMIO) path
+    # ------------------------------------------------------------------
+    def nc_load(self, addr: int, size: int, on_done: Callable) -> None:
+        if not self.addrmap.is_mmio(addr):
+            raise ConfigError(f"NC load to non-MMIO address {addr:#x}")
+        target = self.addrmap.mmio_target(addr)
+        request = NcRead(offset=self.addrmap.mmio_offset(addr), size=size,
+                         requester=self.tile.addr)
+        self.tile.nc_access(target, request, on_done)
+
+    def nc_store(self, addr: int, data: bytes, on_done: Callable) -> None:
+        if not self.addrmap.is_mmio(addr):
+            raise ConfigError(f"NC store to non-MMIO address {addr:#x}")
+        target = self.addrmap.mmio_target(addr)
+        request = NcWrite(offset=self.addrmap.mmio_offset(addr), data=data,
+                          requester=self.tile.addr)
+        self.tile.nc_access(target, request,
+                            lambda _data: on_done(None))

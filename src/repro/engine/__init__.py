@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel used by every simulated subsystem."""
+
+from .component import Component
+from .link import InstantLink, Link
+from .rng import derive_seed, derived_rng
+from .simulator import Event, Simulator
+from .stats import Histogram, StatGroup, merge_stat_groups
+
+__all__ = [
+    "Component",
+    "Event",
+    "Histogram",
+    "InstantLink",
+    "Link",
+    "Simulator",
+    "StatGroup",
+    "derive_seed",
+    "derived_rng",
+    "merge_stat_groups",
+]

@@ -1,0 +1,36 @@
+"""Base class for simulated hardware components.
+
+A component owns a name (hierarchical, ``/``-separated, mirroring the
+FPGA/node/tile hierarchy of a SMAPPIC prototype), a reference to the
+simulator, and a :class:`~repro.engine.stats.StatGroup` for counters.
+"""
+
+from __future__ import annotations
+
+from .simulator import Simulator
+from .stats import StatGroup
+
+
+class Component:
+    """A named piece of simulated hardware.
+
+    Subclasses schedule their own events through ``self.sim`` and count
+    interesting happenings through ``self.stats``.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self.sim.now
+
+    def schedule(self, delay, callback, *args, priority=0):
+        """Convenience passthrough to :meth:`Simulator.schedule`."""
+        return self.sim.schedule(delay, callback, *args, priority=priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

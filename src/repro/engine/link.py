@@ -1,0 +1,70 @@
+"""Point-to-point links with latency and serialization bandwidth.
+
+A :class:`Link` is the universal transport in the model: NoC channel hops,
+AXI4 channels, the PCIe path between FPGAs, and the DRAM data bus are all
+links with different parameters.  A link imposes
+
+* a fixed *latency* (cycles from departure to arrival), and
+* a *serialization* cost (``cycles_per_unit`` × message size in units),
+  which also makes the link a shared resource: a message cannot start
+  transmitting until the previous one has finished.
+
+This is exactly the "traffic shaper with configurable bandwidth and latency"
+SMAPPIC inserts at node boundaries (paper Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from .component import Component
+from .simulator import Simulator
+
+Sink = Callable[[object], None]
+
+
+class Link(Component):
+    """A serializing, latency-imposing connection to a sink callback."""
+
+    def __init__(self, sim: Simulator, name: str, sink: Sink,
+                 latency: int = 1, cycles_per_unit: float = 1.0):
+        super().__init__(sim, name)
+        if latency < 0:
+            raise ConfigError(f"{name}: negative latency {latency}")
+        if cycles_per_unit < 0:
+            raise ConfigError(
+                f"{name}: negative cycles_per_unit {cycles_per_unit}")
+        self.sink = sink
+        self.latency = latency
+        self.cycles_per_unit = cycles_per_unit
+        self._free_at = 0
+
+    def send(self, message: object, units: int = 1) -> int:
+        """Transmit ``message`` of the given size; returns arrival time.
+
+        The message occupies the link for ``units * cycles_per_unit`` cycles
+        starting no earlier than the link becomes free, then arrives
+        ``latency`` cycles later.
+        """
+        depart = max(self.now, self._free_at)
+        serialization = int(round(units * self.cycles_per_unit))
+        self._free_at = depart + max(serialization, 1 if units else 0)
+        arrival = depart + serialization + self.latency
+        self.sim.schedule_at(arrival, self.sink, message)
+        self.stats.inc("messages")
+        self.stats.inc("units", units)
+        self.stats.observe("queueing", depart - self.now)
+        return arrival
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the link becomes free for the next message."""
+        return self._free_at
+
+
+class InstantLink(Link):
+    """A zero-latency, infinite-bandwidth link (for intra-module wiring)."""
+
+    def __init__(self, sim: Simulator, name: str, sink: Sink):
+        super().__init__(sim, name, sink, latency=0, cycles_per_unit=0.0)

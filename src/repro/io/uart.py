@@ -1,0 +1,140 @@
+"""UART tunneled over AXI-Lite to a host virtual serial device.
+
+F1 gives no physical UART, so SMAPPIC encapsulates UART into AXI-Lite
+(via a 16550 IP) and a host program exposes it as a virtual serial device
+(paper Sec. 3.4.1).  Each node instantiates two: the 115200-baud console
+and an "overclocked" ~1 Mbit/s data UART used for networking via pppd.
+
+The model keeps the 16550's programming interface (THR/RBR/LSR) on the
+chipset MMIO window, applies real baud-rate pacing to every byte, and
+buffers the host side in the :class:`VirtualSerialDevice`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..engine import Component, Simulator
+
+# 16550 register offsets (byte-wide registers).
+REG_RBR_THR = 0x00    # read: receive buffer; write: transmit holding
+REG_LSR = 0x28        # line status
+
+LSR_DATA_READY = 0x01
+LSR_THR_EMPTY = 0x20
+
+#: Console and data baud rates from the paper.
+CONSOLE_BAUD = 115_200
+DATA_BAUD = 1_000_000
+
+
+def cycles_per_byte(baud: int, frequency_hz: float = 100e6) -> int:
+    """10 bits on the wire per byte (start + 8 data + stop)."""
+    return max(1, int(round(frequency_hz * 10 / baud)))
+
+
+class VirtualSerialDevice:
+    """Host-side endpoint: what `minicom` (or pppd) would see."""
+
+    def __init__(self) -> None:
+        self.received = bytearray()        # bytes the prototype transmitted
+        self._to_prototype: Deque[int] = deque()
+        self.on_byte: Optional[Callable[[int], None]] = None
+
+    def write(self, data: bytes) -> None:
+        """Host -> prototype."""
+        self._to_prototype.extend(data)
+
+    def read_all(self) -> bytes:
+        out = bytes(self.received)
+        self.received.clear()
+        return out
+
+    @property
+    def text(self) -> str:
+        return self.received.decode(errors="replace")
+
+
+class Uart(Component):
+    """One tunneled 16550 with real baud pacing (a chipset MMIO device)."""
+
+    def __init__(self, sim: Simulator, name: str, baud: int = CONSOLE_BAUD,
+                 frequency_hz: float = 100e6, fifo_depth: int = 16):
+        super().__init__(sim, name)
+        self.baud = baud
+        self.cycles_per_byte = cycles_per_byte(baud, frequency_hz)
+        self.fifo_depth = fifo_depth
+        self.host = VirtualSerialDevice()
+        self._tx_fifo: Deque[int] = deque()
+        self._tx_busy = False
+        self._rx_fifo: Deque[int] = deque()
+        self._rx_pump_scheduled = False
+
+    # ------------------------------------------------------------------
+    # MmioDevice interface (prototype side)
+    # ------------------------------------------------------------------
+    def nc_write(self, offset: int, data: bytes,
+                 reply: Callable[[], None]) -> None:
+        if offset == REG_RBR_THR:
+            for byte in data[:1]:
+                if len(self._tx_fifo) < self.fifo_depth:
+                    self._tx_fifo.append(byte)
+                    self.stats.inc("tx_bytes")
+                else:
+                    self.stats.inc("tx_overruns")
+            self._pump_tx()
+        reply()
+
+    def nc_read(self, offset: int, size: int,
+                reply: Callable[[bytes], None]) -> None:
+        self._pump_rx()
+        if offset == REG_RBR_THR:
+            if self._rx_fifo:
+                self.stats.inc("rx_bytes")
+                reply(bytes([self._rx_fifo.popleft()]).ljust(size, b"\x00"))
+            else:
+                reply(b"\x00" * size)
+            return
+        if offset == REG_LSR:
+            status = 0
+            if self._rx_fifo:
+                status |= LSR_DATA_READY
+            if len(self._tx_fifo) < self.fifo_depth:
+                status |= LSR_THR_EMPTY
+            reply(bytes([status]).ljust(size, b"\x00"))
+            return
+        reply(b"\x00" * size)
+
+    # ------------------------------------------------------------------
+    # Baud-paced transfer engines
+    # ------------------------------------------------------------------
+    def _pump_tx(self) -> None:
+        if self._tx_busy or not self._tx_fifo:
+            return
+        self._tx_busy = True
+        self.schedule(self.cycles_per_byte, self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._tx_busy = False
+        if self._tx_fifo:
+            byte = self._tx_fifo.popleft()
+            self.host.received.append(byte)
+            if self.host.on_byte is not None:
+                self.host.on_byte(byte)
+        self._pump_tx()
+
+    def _pump_rx(self) -> None:
+        """Move host bytes into the RX FIFO at line rate."""
+        if self._rx_pump_scheduled or not self.host._to_prototype:
+            return
+        if len(self._rx_fifo) >= self.fifo_depth:
+            return
+        self._rx_pump_scheduled = True
+        self.schedule(self.cycles_per_byte, self._rx_byte)
+
+    def _rx_byte(self) -> None:
+        self._rx_pump_scheduled = False
+        if self.host._to_prototype and len(self._rx_fifo) < self.fifo_depth:
+            self._rx_fifo.append(self.host._to_prototype.popleft())
+        self._pump_rx()

@@ -1,0 +1,103 @@
+"""Virtual SD card (paper Sec. 3.4.2).
+
+The F1 FPGA has no SD slot, but BYOC needs an SD controller to provide a
+filesystem for Linux.  SMAPPIC's answer is a *virtual device*: requests to
+the SD controller are redirected into the top half of the node's DRAM.
+The host initializes the card image by writing into the FPGA's PCIe
+address space; those writes become NoC flits targeting the memory
+controller (modeled by :meth:`repro.core.chipset.Chipset.host_mem_request`).
+
+Virtual devices provide the functionality of the original device only —
+they do not model SD timing (the paper says the same).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..engine import Component, Simulator
+from ..errors import ConfigError
+from ..mem.msgs import MemRead, MemReadResp, MemWrite
+
+BLOCK_SIZE = 512
+
+# MMIO register offsets.
+REG_BLOCK_NUM = 0x00   # write: select block
+REG_DATA = 0x08        # read/write: streams the selected block 8B at a time
+REG_OFFSET = 0x10      # write: byte offset within the block
+
+
+class VirtualSdCard(Component):
+    """SD controller whose backing store is the top half of node DRAM."""
+
+    def __init__(self, sim: Simulator, name: str, chipset, sd_base: int,
+                 capacity: int):
+        super().__init__(sim, name)
+        if capacity % BLOCK_SIZE:
+            raise ConfigError("SD capacity must be block-aligned")
+        self.chipset = chipset
+        self.sd_base = sd_base
+        self.capacity = capacity
+        self._block = 0
+        self._offset = 0
+
+    # ------------------------------------------------------------------
+    # Host-side initialization (PCIe write path)
+    # ------------------------------------------------------------------
+    def host_load_image(self, image: bytes,
+                        on_done: Callable[[], None]) -> None:
+        """Write a card image through the PCIe/NoC path, 64 B at a time."""
+        chunks = [image[i:i + 64] for i in range(0, len(image), 64)]
+
+        def write_next(index: int) -> None:
+            if index >= len(chunks):
+                on_done()
+                return
+            request = MemWrite(addr=self.sd_base + index * 64,
+                               data=chunks[index], requester=None)
+            self.chipset.host_mem_request(
+                request, lambda _resp: write_next(index + 1))
+
+        write_next(0)
+
+    # ------------------------------------------------------------------
+    # MmioDevice interface (prototype side)
+    # ------------------------------------------------------------------
+    def nc_write(self, offset: int, data: bytes,
+                 reply: Callable[[], None]) -> None:
+        value = int.from_bytes(data, "little")
+        if offset == REG_BLOCK_NUM:
+            if value * BLOCK_SIZE >= self.capacity:
+                raise ConfigError(f"{self.name}: block {value} out of range")
+            self._block = value
+            self._offset = 0
+            reply()
+        elif offset == REG_OFFSET:
+            self._offset = value % BLOCK_SIZE
+            reply()
+        elif offset == REG_DATA:
+            address = self._cursor()
+            self._advance(len(data))
+            request = MemWrite(addr=address, data=data, requester=None)
+            self.stats.inc("writes")
+            self.chipset.host_mem_request(request, lambda _resp: reply())
+        else:
+            raise ConfigError(f"{self.name}: bad register {offset:#x}")
+
+    def nc_read(self, offset: int, size: int,
+                reply: Callable[[bytes], None]) -> None:
+        if offset != REG_DATA:
+            reply(b"\x00" * size)
+            return
+        address = self._cursor()
+        self._advance(size)
+        request = MemRead(addr=address, size=size, requester=None)
+        self.stats.inc("reads")
+        self.chipset.host_mem_request(
+            request, lambda resp: reply(resp.data))
+
+    def _cursor(self) -> int:
+        return self.sd_base + self._block * BLOCK_SIZE + self._offset
+
+    def _advance(self, amount: int) -> None:
+        self._offset = (self._offset + amount) % BLOCK_SIZE

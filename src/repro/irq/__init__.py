@@ -1,0 +1,19 @@
+"""Interrupt subsystem: controller, packetizer, depacketizer."""
+
+from .controller import (IRQ_EXTERNAL, IRQ_SOFTWARE, IRQ_TIMER,
+                         InterruptController, InterruptDepacketizer,
+                         IrqUpdate, REG_MSIP_CLEAR, REG_MSIP_SET,
+                         REG_TIMER_DELAY, REG_TIMER_TARGET)
+
+__all__ = [
+    "IRQ_EXTERNAL",
+    "IRQ_SOFTWARE",
+    "IRQ_TIMER",
+    "InterruptController",
+    "InterruptDepacketizer",
+    "IrqUpdate",
+    "REG_MSIP_CLEAR",
+    "REG_MSIP_SET",
+    "REG_TIMER_DELAY",
+    "REG_TIMER_TARGET",
+]

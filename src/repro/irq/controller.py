@@ -1,0 +1,126 @@
+"""RISC-V interrupt controller with packetized delivery (paper Sec. 3.3).
+
+The RISC-V spec asserts a dedicated wire from the interrupt controller to
+each core — unscalable across a manycore node and impossible across node
+boundaries.  SMAPPIC's answer is an interrupt *packetizer* that watches the
+controller's output lines and, on any change, notifies the target core
+with a NoC packet; a *depacketizer* at the tile sniffs the traffic and
+(de)asserts the core's local wire (paper Fig. 6).
+
+The controller itself is CLINT-flavored: per-target software interrupts
+(MSIP), one-shot timers (MTIMECMP), and external lines, controlled through
+chipset MMIO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine import Component, Simulator
+from ..errors import ConfigError
+from ..noc import TileAddr
+
+# Interrupt causes (RISC-V mcause codes).
+IRQ_SOFTWARE = 3
+IRQ_TIMER = 7
+IRQ_EXTERNAL = 11
+
+# MMIO register layout (offsets within the controller's chipset window).
+REG_MSIP_SET = 0x00       # write: target tile index -> raise software IRQ
+REG_MSIP_CLEAR = 0x08     # write: target tile index -> clear software IRQ
+REG_TIMER_TARGET = 0x10   # write: target tile index for the next timer arm
+REG_TIMER_DELAY = 0x18    # write: delay in cycles -> arms the timer
+
+
+@dataclass
+class IrqUpdate:
+    """Payload of an interrupt notification packet."""
+
+    cause: int
+    level: bool
+
+
+class InterruptDepacketizer:
+    """Tile-side: turns interrupt packets back into wire levels."""
+
+    def __init__(self, tile,
+                 on_change: Optional[Callable[[int, bool], None]] = None):
+        self.tile = tile
+        self.levels: Dict[int, bool] = {}
+        self.on_change = on_change
+        tile.set_irq_sink(self._packet_arrived)
+
+    def _packet_arrived(self, update: IrqUpdate) -> None:
+        previous = self.levels.get(update.cause, False)
+        self.levels[update.cause] = update.level
+        if previous != update.level and self.on_change is not None:
+            self.on_change(update.cause, update.level)
+
+    def pending(self, cause: int) -> bool:
+        return self.levels.get(cause, False)
+
+    def any_pending(self) -> bool:
+        return any(self.levels.values())
+
+
+class InterruptController(Component):
+    """Node-level controller + packetizer, resident in the chipset.
+
+    ``send_update(target, update)`` is provided by the chipset and wraps
+    the update into an INTERRUPT-class NoC packet (works across nodes:
+    the packet simply rides the inter-node bridge).
+    """
+
+    def __init__(self, sim: Simulator, name: str, node_id: int,
+                 send_update: Callable[[TileAddr, IrqUpdate], None],
+                 scan_latency: int = 3):
+        super().__init__(sim, name)
+        self.node_id = node_id
+        self.send_update = send_update
+        self.scan_latency = scan_latency
+        self._lines: Dict[Tuple[TileAddr, int], bool] = {}
+        self._timer_target: Optional[TileAddr] = None
+
+    # ------------------------------------------------------------------
+    # Line changes -> packets (the packetizer)
+    # ------------------------------------------------------------------
+    def set_line(self, target: TileAddr, cause: int, level: bool) -> None:
+        """Change one output line; packetize if the level changed."""
+        key = (target, cause)
+        if self._lines.get(key, False) == level:
+            return
+        self._lines[key] = level
+        self.stats.inc("line_changes")
+        self.schedule(self.scan_latency, self.send_update, target,
+                      IrqUpdate(cause=cause, level=level))
+
+    # ------------------------------------------------------------------
+    # MMIO register interface (chipset device)
+    # ------------------------------------------------------------------
+    def nc_write(self, offset: int, data: bytes,
+                 reply: Callable[[], None]) -> None:
+        value = int.from_bytes(data, "little")
+        if offset == REG_MSIP_SET:
+            self.set_line(self._target_of(value), IRQ_SOFTWARE, True)
+        elif offset == REG_MSIP_CLEAR:
+            self.set_line(self._target_of(value), IRQ_SOFTWARE, False)
+        elif offset == REG_TIMER_TARGET:
+            self._timer_target = self._target_of(value)
+        elif offset == REG_TIMER_DELAY:
+            if self._timer_target is None:
+                raise ConfigError(f"{self.name}: timer armed with no target")
+            target = self._timer_target
+            self.schedule(value, self.set_line, target, IRQ_TIMER, True)
+        else:
+            raise ConfigError(f"{self.name}: bad register {offset:#x}")
+        reply()
+
+    def nc_read(self, offset: int, size: int,
+                reply: Callable[[bytes], None]) -> None:
+        # Reads return the raw line bitmap for the encoded target.
+        reply(b"\x00" * size)
+
+    def _target_of(self, value: int) -> TileAddr:
+        """Targets encode (node << 16) | tile, so interrupts cross nodes."""
+        return TileAddr(node=value >> 16, tile=value & 0xFFFF)

@@ -1,0 +1,17 @@
+"""Memory subsystem: functional store, DRAM timing, NoC-AXI4 controller."""
+
+from .controller import NocAxiMemoryController
+from .dram import Dram
+from .memory import LINE_BYTES, MainMemory
+from .msgs import MemRead, MemReadResp, MemWrite, MemWriteAck
+
+__all__ = [
+    "Dram",
+    "LINE_BYTES",
+    "MainMemory",
+    "MemRead",
+    "MemReadResp",
+    "MemWrite",
+    "MemWriteAck",
+    "NocAxiMemoryController",
+]

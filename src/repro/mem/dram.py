@@ -1,0 +1,72 @@
+"""DDR4 DRAM timing model behind an AXI4 slave interface.
+
+Each F1 FPGA exposes four DDR4 controllers; SMAPPIC gives each node one of
+them (which is why at most four nodes fit per FPGA).  The model applies a
+fixed access latency (Table 2 uses 80 cycles end-to-end for DRAM) plus
+bank-limited occupancy, and performs the functional read/write against the
+node's :class:`~repro.mem.memory.MainMemory`.
+"""
+
+from __future__ import annotations
+
+from ..engine import Component, Simulator
+from ..axi.messages import (AxiRead, AxiReadResp, AxiResp, AxiWrite,
+                            AxiWriteResp)
+from .memory import MainMemory
+
+
+class Dram(Component):
+    """AXI slave with fixed latency and per-bank occupancy.
+
+    ``latency`` is the cycles from request arrival to response issue;
+    ``cycles_per_beat`` models the data-bus occupancy of a burst; ``banks``
+    requests can be in flight concurrently (round-robin bank hash on the
+    line address).
+    """
+
+    def __init__(self, sim: Simulator, name: str, memory: MainMemory,
+                 latency: int = 60, cycles_per_beat: float = 1.0,
+                 banks: int = 8):
+        super().__init__(sim, name)
+        self.memory = memory
+        self.latency = latency
+        self.cycles_per_beat = cycles_per_beat
+        self.banks = banks
+        self._bank_free_at = [0] * banks
+
+    def _bank_of(self, addr: int) -> int:
+        return (addr // 64) % self.banks
+
+    def _service_delay(self, addr: int, beats: int) -> int:
+        """Queueing + access + transfer time for one request."""
+        bank = self._bank_of(addr)
+        start = max(self.now, self._bank_free_at[bank])
+        busy = self.latency + int(round(beats * self.cycles_per_beat))
+        self._bank_free_at[bank] = start + busy
+        return (start - self.now) + busy
+
+    # ------------------------------------------------------------------
+    # AxiSlave interface
+    # ------------------------------------------------------------------
+    def axi_write(self, txn: AxiWrite, reply) -> None:
+        self.stats.inc("writes")
+        self.stats.inc("bytes_written", len(txn.data))
+        delay = self._service_delay(txn.addr, txn.beats)
+
+        def finish() -> None:
+            self.memory.write(txn.addr, txn.data)
+            reply(AxiWriteResp(axi_id=txn.axi_id, resp=AxiResp.OKAY))
+
+        self.schedule(delay, finish)
+
+    def axi_read(self, txn: AxiRead, reply) -> None:
+        self.stats.inc("reads")
+        self.stats.inc("bytes_read", txn.length)
+        delay = self._service_delay(txn.addr, txn.beats)
+
+        def finish() -> None:
+            data = self.memory.read(txn.addr, txn.length)
+            reply(AxiReadResp(axi_id=txn.axi_id, data=data,
+                              resp=AxiResp.OKAY))
+
+        self.schedule(delay, finish)

@@ -1,0 +1,82 @@
+"""Functional backing store for a node's DRAM.
+
+Sparse byte-addressable storage: only touched 64-byte lines are
+materialized, so a modeled 64 GB DIMM costs memory proportional to the
+working set.  Timing lives in :class:`~repro.mem.dram.Dram`; this class is
+purely functional and is also what host-side tools (program loaders, the
+virtual SD card image writer) poke directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigError
+
+LINE_BYTES = 64
+
+
+class MainMemory:
+    """Sparse functional memory of ``size`` bytes starting at offset 0."""
+
+    def __init__(self, size: int):
+        if size <= 0 or size % LINE_BYTES:
+            raise ConfigError(
+                f"memory size must be a positive multiple of {LINE_BYTES}, "
+                f"got {size}")
+        self.size = size
+        self._lines: Dict[int, bytearray] = {}
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.size:
+            raise ConfigError(
+                f"access [{addr:#x}, {addr + length:#x}) outside memory of "
+                f"size {self.size:#x}")
+
+    def _line(self, line_addr: int) -> bytearray:
+        line = self._lines.get(line_addr)
+        if line is None:
+            line = self._lines[line_addr] = bytearray(LINE_BYTES)
+        return line
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes; untouched memory reads as zeros."""
+        self._check_range(addr, length)
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining:
+            line_addr = cursor - (cursor % LINE_BYTES)
+            offset = cursor - line_addr
+            take = min(LINE_BYTES - offset, remaining)
+            line = self._lines.get(line_addr)
+            if line is None:
+                out.extend(b"\x00" * take)
+            else:
+                out.extend(line[offset:offset + take])
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check_range(addr, len(data))
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            line_addr = cursor - (cursor % LINE_BYTES)
+            offset = cursor - line_addr
+            take = min(LINE_BYTES - offset, len(view))
+            self._line(line_addr)[offset:offset + take] = view[:take]
+            cursor += take
+            view = view[take:]
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes actually materialized (for host-side accounting)."""
+        return len(self._lines) * LINE_BYTES

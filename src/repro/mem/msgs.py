@@ -1,0 +1,52 @@
+"""Memory request/response payloads carried over the NoC.
+
+The LLC (and the virtual SD controller) talk to the chipset's memory
+controller with these messages; the controller transduces them to AXI4
+(paper Fig. 5) and answers with the matching response types.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..noc import TileAddr
+
+_mem_ids = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_mem_ids)
+
+
+@dataclass
+class MemRead:
+    """Read ``size`` bytes at ``addr``; answered with :class:`MemReadResp`."""
+
+    addr: int
+    size: int
+    requester: TileAddr
+    uid: int = field(default_factory=_next_uid)
+
+
+@dataclass
+class MemWrite:
+    """Write ``data`` at ``addr``; answered with :class:`MemWriteAck`."""
+
+    addr: int
+    data: bytes
+    requester: TileAddr
+    uid: int = field(default_factory=_next_uid)
+
+
+@dataclass
+class MemReadResp:
+    uid: int
+    addr: int
+    data: bytes
+
+
+@dataclass
+class MemWriteAck:
+    uid: int
+    addr: int

@@ -1,0 +1,21 @@
+"""Network-on-chip model: packets, mesh topology, credit-based routers."""
+
+from .network import NodeNetwork
+from .packet import (CHIPSET, FLIT_BYTES, MsgClass, NocChannel, Packet,
+                     TileAddr, data_flits)
+from .router import Router
+from .topology import Direction, Mesh
+
+__all__ = [
+    "CHIPSET",
+    "Direction",
+    "FLIT_BYTES",
+    "Mesh",
+    "MsgClass",
+    "NocChannel",
+    "NodeNetwork",
+    "Packet",
+    "Router",
+    "TileAddr",
+    "data_flits",
+]

@@ -1,0 +1,106 @@
+"""NoC packets and addressing.
+
+OpenPiton/BYOC moves 64-bit flits over three physical NoCs (NoC1 requests,
+NoC2 responses, NoC3 writebacks/acks) to stay deadlock-free.  We model a
+*packet* (header flit + payload flits) as the atomic unit; its size in flits
+determines serialization time on every hop.
+
+Addressing follows the SMAPPIC hierarchy: a :class:`TileAddr` names a tile
+within a node.  Tile index ``CHIPSET`` addresses the node's chipset (memory
+controller + I/O), which hangs off tile 0's off-chip port exactly as in
+OpenPiton.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Optional
+
+#: Pseudo-tile index for the chipset (memory controller, I/O) of a node.
+CHIPSET = -1
+
+#: Flit payload width in bytes (OpenPiton uses 64-bit flits).
+FLIT_BYTES = 8
+
+
+@dataclass(frozen=True, order=True)
+class TileAddr:
+    """Address of a tile (or the chipset) within the whole prototype."""
+
+    node: int
+    tile: int
+
+    def is_chipset(self) -> bool:
+        return self.tile == CHIPSET
+
+    def __str__(self) -> str:
+        where = "chipset" if self.is_chipset() else f"tile{self.tile}"
+        return f"n{self.node}/{where}"
+
+
+class NocChannel(Enum):
+    """The three OpenPiton physical networks."""
+
+    REQ = 1    # NoC1: requests from private caches to the LLC
+    RESP = 2   # NoC2: responses / data from LLC and memory
+    WB = 3     # NoC3: writebacks, invalidation acks
+
+    @property
+    def index(self) -> int:
+        return self.value - 1
+
+
+class MsgClass(Enum):
+    """Coarse message classes carried by the NoCs.
+
+    The coherence protocol defines finer message types; the NoC only needs
+    the class (to pick a channel) and the size.
+    """
+
+    COHERENCE = auto()
+    MEMORY = auto()
+    INTERRUPT = auto()
+    IO = auto()
+    PING = auto()          # latency probe (Fig. 7 measurement machinery)
+    ACCELERATOR = auto()
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A NoC packet: header + payload flits.
+
+    ``payload`` carries the semantic message (a coherence message, a memory
+    request, an interrupt notification...).  The NoC treats it opaquely.
+    """
+
+    src: TileAddr
+    dst: TileAddr
+    channel: NocChannel
+    msg_class: MsgClass
+    payload: Any = None
+    payload_flits: int = 0
+    created_at: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+
+    @property
+    def flits(self) -> int:
+        """Total flits on the wire: one header flit plus payload."""
+        return 1 + self.payload_flits
+
+    def is_inter_node(self) -> bool:
+        return self.src.node != self.dst.node
+
+    def __str__(self) -> str:
+        return (f"pkt#{self.uid}[{self.msg_class.name} {self.src}->{self.dst} "
+                f"{self.channel.name} {self.flits}f]")
+
+
+def data_flits(num_bytes: int) -> int:
+    """Number of payload flits needed to carry ``num_bytes`` of data."""
+    return (num_bytes + FLIT_BYTES - 1) // FLIT_BYTES

@@ -1,0 +1,173 @@
+"""Mesh router with credit-based flow control.
+
+Every tile has one router serving the three physical NoCs.  Packets move
+whole-packet-at-a-time (virtual cut-through at packet granularity): a hop
+costs the router pipeline latency plus link serialization (one cycle per
+flit) plus link latency.
+
+Flow control is credit-based, as the paper requires for deadlock freedom of
+the inter-node bridge (Sec. 3.1, stage 3): a router may only send toward a
+neighbor when it holds a credit for that (port, channel); the credit returns
+once the neighbor has forwarded the packet onward.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine import Component, Link, Simulator
+from ..errors import ProtocolError, SimulationError
+from .packet import CHIPSET, NocChannel, Packet, TileAddr
+from .topology import Direction, Mesh, OPPOSITE
+
+#: A port is identified by outgoing direction and NoC channel.
+PortKey = Tuple[Direction, NocChannel]
+
+EndpointHandler = Callable[[Packet], None]
+
+
+class _OutputPort:
+    """Credit counter plus waiting queue for one (direction, channel)."""
+
+    __slots__ = ("link", "credits", "max_credits", "waiting")
+
+    def __init__(self, link: Link, credits: int):
+        self.link = link
+        self.credits = credits
+        self.max_credits = credits
+        self.waiting: deque = deque()
+
+
+class Router(Component):
+    """One tile's router.  Wired up by :class:`~repro.noc.network.NodeNetwork`."""
+
+    def __init__(self, sim: Simulator, name: str, node_id: int, tile: int,
+                 mesh: Mesh, hop_latency: int = 2, credits: int = 4,
+                 link_latency: int = 1, cycles_per_flit: float = 1.0):
+        super().__init__(sim, name)
+        self.node_id = node_id
+        self.tile = tile
+        self.mesh = mesh
+        self.hop_latency = hop_latency
+        self.credit_count = credits
+        self.link_latency = link_latency
+        self.cycles_per_flit = cycles_per_flit
+        self._ports: Dict[PortKey, _OutputPort] = {}
+        self._neighbors: Dict[Direction, "Router"] = {}
+        self._local_handlers: Dict[NocChannel, EndpointHandler] = {}
+        self._offchip_handler: Optional[EndpointHandler] = None
+
+    # ------------------------------------------------------------------
+    # Wiring (done once at network construction)
+    # ------------------------------------------------------------------
+    def connect_neighbor(self, direction: Direction, other: "Router") -> None:
+        """Create the three per-channel links toward ``other``."""
+        self._neighbors[direction] = other
+        back = OPPOSITE[direction]
+        for channel in NocChannel:
+            sink = _make_receive_sink(other, back, channel)
+            link = Link(self.sim, f"{self.name}.{direction.value}.{channel.name}",
+                        sink, latency=self.link_latency,
+                        cycles_per_unit=self.cycles_per_flit)
+            self._ports[(direction, channel)] = _OutputPort(link, self.credit_count)
+
+    def connect_local(self, channel: NocChannel,
+                      handler: EndpointHandler) -> None:
+        """Attach the tile's network interface for one channel."""
+        self._local_handlers[channel] = handler
+
+    def connect_offchip(self, handler: EndpointHandler) -> None:
+        """Attach the node-edge (chipset / inter-node bridge) demux.
+
+        Only tile 0 gets an off-chip port, mirroring OpenPiton.
+        """
+        if self.tile != 0:
+            raise ProtocolError(
+                f"{self.name}: off-chip port only exists on tile 0")
+        self._offchip_handler = handler
+
+    # ------------------------------------------------------------------
+    # Packet movement
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Entry point for packets born at this tile (or arriving off-chip)."""
+        self.stats.inc("injected")
+        self.schedule(self.hop_latency, self._route, packet, None)
+
+    def receive(self, packet: Packet, from_direction: Direction,
+                channel: NocChannel) -> None:
+        """A packet arrived over the link from ``from_direction``."""
+        self.stats.inc("received")
+        packet.hops += 1
+        self.schedule(self.hop_latency, self._route, packet, from_direction)
+
+    def _route(self, packet: Packet, from_direction: Optional[Direction]) -> None:
+        # Forwarding frees the upstream buffer slot: return the credit.
+        if from_direction is not None:
+            upstream = self._neighbors.get(from_direction)
+            if upstream is not None:
+                self.schedule(1, upstream._credit_arrive,
+                              (OPPOSITE[from_direction], packet.channel))
+        direction = self._decide(packet)
+        if direction == Direction.LOCAL:
+            handler = self._local_handlers.get(packet.channel)
+            if handler is None:
+                raise ProtocolError(
+                    f"{self.name}: no local handler for {packet.channel} "
+                    f"({packet})")
+            self.stats.inc("ejected")
+            handler(packet)
+            return
+        if direction == Direction.OFFCHIP:
+            if self._offchip_handler is None:
+                raise ProtocolError(
+                    f"{self.name}: packet {packet} needs off-chip port")
+            self.stats.inc("offchip")
+            self._offchip_handler(packet)
+            return
+        self._send(packet, direction)
+
+    def _decide(self, packet: Packet) -> Direction:
+        """Routing decision: XY within the node; tile 0 + OFFCHIP beyond it."""
+        dst = packet.dst
+        leaving = dst.node != self.node_id or dst.is_chipset()
+        if leaving:
+            if self.tile == 0:
+                return Direction.OFFCHIP
+            return self.mesh.route_step(self.tile, 0)
+        return self.mesh.route_step(self.tile, dst.tile)
+
+    def _send(self, packet: Packet, direction: Direction) -> None:
+        port = self._ports.get((direction, packet.channel))
+        if port is None:
+            raise SimulationError(
+                f"{self.name}: no port {direction} for {packet}")
+        if port.credits > 0:
+            port.credits -= 1
+            port.link.send(packet, units=packet.flits)
+            self.stats.inc("forwarded")
+        else:
+            port.waiting.append((packet, direction))
+            self.stats.inc("credit_stalls")
+
+    def _credit_arrive(self, key: PortKey) -> None:
+        port = self._ports.get(key)
+        if port is None:
+            raise SimulationError(f"{self.name}: credit for unknown port {key}")
+        if port.waiting:
+            packet, direction = port.waiting.popleft()
+            port.link.send(packet, units=packet.flits)
+            self.stats.inc("forwarded")
+        else:
+            port.credits += 1
+            if port.credits > port.max_credits:
+                raise ProtocolError(
+                    f"{self.name}: credit overflow on {key}")
+
+
+def _make_receive_sink(router: Router, from_direction: Direction,
+                       channel: NocChannel) -> Callable[[Packet], None]:
+    def sink(packet: Packet) -> None:
+        router.receive(packet, from_direction, channel)
+    return sink

@@ -1,0 +1,12 @@
+"""OS-level NUMA model: machine description, kernel policies, taskset."""
+
+from .kernel import NumaKernel, Taskset, ThreadPlacement
+from .machine import NumaMachine, machine_from_prototype
+
+__all__ = [
+    "NumaKernel",
+    "NumaMachine",
+    "Taskset",
+    "ThreadPlacement",
+    "machine_from_prototype",
+]

@@ -1,0 +1,90 @@
+"""Linux memory-placement and scheduling policies (NUMA mode on/off).
+
+NUMA support for RISC-V landed in Linux 5.12 (the kernel the paper boots);
+the case study of Sec. 4.1 compares the kernel with NUMA mode enabled
+against the same kernel treating all memory as one flat zone.  The two
+behaviors modeled here:
+
+* **NUMA on** — first-touch page placement: a page is allocated on the
+  node of the thread that first touches it; the scheduler keeps threads on
+  their home node (no migration).
+* **NUMA off** — the kernel sees a single zone: pages land anywhere
+  (uniform over nodes, independent of the toucher), and threads migrate
+  freely across all allowed cores.
+
+``Taskset`` reproduces the paper's Fig. 9 pinning study: restricting the
+12 threads to 1-4 nodes with the ``taskset`` utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+from .machine import NumaMachine
+
+
+@dataclass(frozen=True)
+class Taskset:
+    """CPU affinity mask, expressed as allowed node IDs."""
+
+    allowed_nodes: Sequence[int]
+
+    @staticmethod
+    def all_nodes(machine: NumaMachine) -> "Taskset":
+        return Taskset(tuple(range(machine.n_nodes)))
+
+    @staticmethod
+    def first_nodes(count: int) -> "Taskset":
+        if count < 1:
+            raise ConfigError("taskset needs at least one node")
+        return Taskset(tuple(range(count)))
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Where each thread runs, and what fraction of its pages are local."""
+
+    thread_nodes: List[int]
+    local_page_fraction: float
+
+
+class NumaKernel:
+    """Placement decisions of the (non-)NUMA-aware kernel."""
+
+    def __init__(self, machine: NumaMachine, numa_on: bool):
+        self.machine = machine
+        self.numa_on = numa_on
+
+    def place_threads(self, n_threads: int,
+                      taskset: Taskset) -> ThreadPlacement:
+        """Distribute threads over the allowed nodes round-robin and
+        compute how local their first-touch pages end up."""
+        nodes = list(taskset.allowed_nodes)
+        for node in nodes:
+            if node >= self.machine.n_nodes:
+                raise ConfigError(f"taskset names missing node {node}")
+        capacity = len(nodes) * self.machine.cores_per_node
+        if n_threads > capacity:
+            raise ConfigError(
+                f"{n_threads} threads exceed {capacity} allowed cores")
+        thread_nodes = [nodes[i % len(nodes)] for i in range(n_threads)]
+        if self.numa_on:
+            # First-touch: a thread's own pages are on its node.
+            local_fraction = 1.0
+        else:
+            # Flat zone: pages uniform over *all* nodes, toucher-blind.
+            local_fraction = 1.0 / self.machine.n_nodes
+        return ThreadPlacement(thread_nodes=thread_nodes,
+                               local_page_fraction=local_fraction)
+
+    def exchange_remote_fraction(self, taskset: Taskset) -> float:
+        """In an all-to-all exchange among the active nodes, the fraction
+        of traffic that crosses a node boundary."""
+        active = len(set(taskset.allowed_nodes))
+        if self.numa_on:
+            return (active - 1) / active if active > 1 else 0.0
+        # Non-NUMA: data is spread over all nodes no matter what.
+        total = self.machine.n_nodes
+        return (total - 1) / total if total > 1 else 0.0

@@ -1,0 +1,222 @@
+"""MAPLE case-study kernels: SPMV, SPMM, SDHP, BFS (paper Sec. 4.3, Fig. 11).
+
+Paper setup: a SMAPPIC 1x1x6 configuration with Ariane cores in tiles
+0, 1, 4, 5 and MAPLE engines in tiles 2, 3.  Three execution modes per
+kernel:
+
+* ``1thread`` — one core does everything, including the irregular gathers;
+* ``maple``   — the core offloads the access stream to its MAPLE engine
+  and pops values with fine-grained non-cacheable loads;
+* ``2thread`` — the element range is split across two cores (the paper's
+  "is a second thread better than a MAPLE tile?" question).
+
+Datasets are synthetic but shaped like the originals: the gathered array
+is sized far beyond the LLC so indirect loads genuinely miss, which is
+exactly the latency MAPLE exists to hide.  Speedups are reported relative
+to ``1thread``, as in Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..accel.maple import (MODE_INDIRECT, MapleEngine, REG_COUNT,
+                           REG_DATA_BASE, REG_INDEX_BASE, REG_MODE, REG_POP,
+                           REG_START)
+from ..core.prototype import build
+from ..cpu import TraceCore
+from ..engine import derived_rng
+from ..errors import WorkloadError
+from ..noc import TileAddr
+
+KERNELS = ("spmv", "spmm", "sdhp", "bfs")
+MODES = ("1thread", "maple", "2thread")
+
+#: Memory layout.
+INDEX_BASE = 0x100000
+DATA_BASE = 0x800000
+OUT_BASE = 0x4000000
+
+#: Gathered-array entries (8 B each): 2 MiB, far beyond the 6x64 KiB LLC.
+DATA_ENTRIES = 1 << 18
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Shape of one kernel: how much compute rides on each gathered value.
+
+    ``compute_cycles`` models the arithmetic between gathers (SPMM is
+    compute-heavy, SPMV is a bare multiply-accumulate), ``regular_loads``
+    the additional cache-friendly accesses per element, and
+    ``writes_per_element`` the scatter stores that stay on the core even in
+    MAPLE mode (SDHP's histogram updates).
+    """
+
+    name: str
+    elements: int
+    compute_cycles: int
+    regular_loads: int
+    writes_per_element: int
+    #: Gathered-array entries; large -> misses (latency-bound), small ->
+    #: partially cache-resident (SPMM's dense reuse).
+    data_entries: int = DATA_ENTRIES
+
+
+KERNEL_SPECS: Dict[str, KernelSpec] = {
+    # SPMV: multiply-accumulate per nonzero; purely latency-bound.
+    "spmv": KernelSpec("spmv", elements=1024, compute_cycles=5,
+                       regular_loads=1, writes_per_element=0),
+    # SPMM: a dense inner loop per nonzero; compute-bound.
+    "spmm": KernelSpec("spmm", elements=512, compute_cycles=130,
+                       regular_loads=4, writes_per_element=0,
+                       data_entries=1 << 14),
+    # SDHP: gather + histogram scatter.
+    "sdhp": KernelSpec("sdhp", elements=1024, compute_cycles=12,
+                       regular_loads=1, writes_per_element=1),
+    # BFS: neighbor gather + visited check.
+    "bfs": KernelSpec("bfs", elements=1024, compute_cycles=8,
+                      regular_loads=1, writes_per_element=0),
+}
+
+
+class MapleKernelBench:
+    """Runs one kernel in one mode on a fresh 1x1x6 prototype."""
+
+    def __init__(self, seed: int = 17):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # System and dataset construction
+    # ------------------------------------------------------------------
+    def _fresh_system(self, n_cores: int, with_maple: bool):
+        proto = build("1x1x6")
+        cores = [TraceCore(proto.sim, f"cpu{i}",
+                           proto.tile(0, (0, 1, 4, 5)[i]), proto.addrmap)
+                 for i in range(n_cores)]
+        engines = []
+        if with_maple:
+            engines = [MapleEngine(proto.sim, f"maple{i}",
+                                   proto.tile(0, (2, 3)[i]))
+                       for i in range(n_cores)]
+        return proto, cores, engines
+
+    def _load_dataset(self, proto, spec: KernelSpec) -> List[int]:
+        rng = derived_rng(self.seed, "maple", spec.name)
+        indices = [rng.randrange(spec.data_entries)
+                   for _ in range(spec.elements)]
+        image = bytearray()
+        for index in indices:
+            image += index.to_bytes(8, "little")
+        proto.load_image(INDEX_BASE, bytes(image))
+        # Data array is read as value = f(index); only the touched entries
+        # need to exist functionally.
+        for index in set(indices):
+            proto.load_image(DATA_BASE + 8 * index,
+                             ((index * 7) & (2 ** 64 - 1)).to_bytes(8, "little"))
+        return indices
+
+    # ------------------------------------------------------------------
+    # Mode programs
+    # ------------------------------------------------------------------
+    def _core_program(self, spec: KernelSpec, first: int, count: int):
+        """Direct execution: the core performs its own gathers."""
+
+        def program(core):
+            accum = 0
+            for i in range(first, first + count):
+                index_bytes = yield core.load(INDEX_BASE + 8 * i, 8)
+                index = int.from_bytes(index_bytes, "little")
+                for extra in range(spec.regular_loads - 1):
+                    yield core.load(INDEX_BASE + 8 * i, 8)
+                value_bytes = yield core.load(DATA_BASE + 8 * index, 8)
+                accum += int.from_bytes(value_bytes, "little")
+                yield core.delay(spec.compute_cycles)
+                for w in range(spec.writes_per_element):
+                    bucket = (index % 512) * 8
+                    yield core.store(OUT_BASE + bucket,
+                                     (accum & (2 ** 64 - 1)).to_bytes(8, "little"))
+            core.result = accum
+
+        return program
+
+    def _maple_program(self, proto, spec: KernelSpec, maple_tile: int,
+                       first: int, count: int):
+        """Decoupled execution: MAPLE gathers, the core pops."""
+        mm = proto.addrmap.mmio_base(TileAddr(0, maple_tile))
+
+        def program(core):
+            yield core.nc_store(mm + REG_INDEX_BASE,
+                                (INDEX_BASE + 8 * first).to_bytes(8, "little"))
+            yield core.nc_store(mm + REG_DATA_BASE,
+                                DATA_BASE.to_bytes(8, "little"))
+            yield core.nc_store(mm + REG_COUNT, count.to_bytes(8, "little"))
+            yield core.nc_store(mm + REG_MODE,
+                                MODE_INDIRECT.to_bytes(8, "little"))
+            yield core.nc_store(mm + REG_START, (1).to_bytes(8, "little"))
+            accum = 0
+            for i in range(first, first + count):
+                for extra in range(spec.regular_loads - 1):
+                    yield core.load(INDEX_BASE + 8 * i, 8)
+                value_bytes = yield core.nc_load(mm + REG_POP, 8)
+                accum += int.from_bytes(value_bytes, "little")
+                yield core.delay(spec.compute_cycles)
+                for w in range(spec.writes_per_element):
+                    index_bytes = yield core.load(INDEX_BASE + 8 * i, 8)
+                    index = int.from_bytes(index_bytes, "little")
+                    bucket = (index % 512) * 8
+                    yield core.store(OUT_BASE + bucket,
+                                     (accum & (2 ** 64 - 1)).to_bytes(8, "little"))
+            core.result = accum
+
+        return program
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, kernel: str, mode: str) -> Dict[str, float]:
+        if kernel not in KERNEL_SPECS:
+            raise WorkloadError(f"unknown kernel '{kernel}'")
+        if mode not in MODES:
+            raise WorkloadError(f"unknown mode '{mode}'")
+        spec = KERNEL_SPECS[kernel]
+        n_cores = 2 if mode == "2thread" else 1
+        proto, cores, engines = self._fresh_system(
+            n_cores, with_maple=(mode == "maple"))
+        self._load_dataset(proto, spec)
+        finished = []
+        start = proto.now
+        if mode == "2thread":
+            half = spec.elements // 2
+            ranges = [(0, half), (half, spec.elements - half)]
+            for core, (first, count) in zip(cores, ranges):
+                core.run_program(self._core_program(spec, first, count),
+                                 lambda c: finished.append(c))
+            expected = 2
+        elif mode == "maple":
+            cores[0].run_program(
+                self._maple_program(proto, spec, maple_tile=2, first=0,
+                                    count=spec.elements),
+                lambda c: finished.append(c))
+            expected = 1
+        else:
+            cores[0].run_program(self._core_program(spec, 0, spec.elements),
+                                 lambda c: finished.append(c))
+            expected = 1
+        proto.run()
+        if len(finished) != expected:
+            raise WorkloadError(f"{kernel}/{mode}: run did not complete")
+        return {"cycles": proto.now - start,
+                "checksum": sum(c.result for c in cores) & (2 ** 64 - 1)}
+
+
+def fig11_speedups(seed: int = 17) -> Dict[str, Dict[str, float]]:
+    """All kernels, all modes; speedup relative to single-thread."""
+    bench = MapleKernelBench(seed=seed)
+    out: Dict[str, Dict[str, float]] = {}
+    for kernel in KERNELS:
+        runs = {mode: bench.run(kernel, mode) for mode in MODES}
+        baseline = runs["1thread"]["cycles"]
+        out[kernel] = {mode: baseline / runs[mode]["cycles"]
+                       for mode in MODES}
+    return out

@@ -1,0 +1,54 @@
+"""SPECint 2017 workload catalog (test input size) — Fig. 13's x-axis.
+
+We cannot ship SPEC binaries; Fig. 13 only needs each benchmark's *dynamic
+instruction count* (test input) plus tool-compatibility notes, because
+modeling cost is ``instructions / simulation_rate x instance_price``.
+Counts are calibrated estimates of the test-input footprints (documented
+substitution in DESIGN.md); the paper's own anecdotes are encoded:
+perlbench forks (Sniper cannot run it) and gem5's mcf run needs a 350 GB
+host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One SPECint 2017 rate benchmark with its test-input footprint."""
+
+    name: str
+    dynamic_instructions: float
+    #: Working-set memory a simulator needs to model it (GB).
+    sim_memory_gb: float = 8.0
+    #: Benchmark forks child processes (breaks Sniper).
+    forks: bool = False
+    #: gem5 needs this much host memory (GB); None means the default 64.
+    gem5_memory_gb: Optional[float] = None
+
+
+#: Calibrated test-input dynamic instruction counts.
+SPECINT_2017: Dict[str, SpecBenchmark] = {
+    "deepsjeng": SpecBenchmark("deepsjeng", 3.5e11),
+    "exchange2": SpecBenchmark("exchange2", 7.0e11),
+    "gcc": SpecBenchmark("gcc", 1.1e12),
+    "leela": SpecBenchmark("leela", 3.0e11),
+    "mcf": SpecBenchmark("mcf", 9.5e10, sim_memory_gb=16.0,
+                         gem5_memory_gb=350.0),
+    "omnetpp": SpecBenchmark("omnetpp", 4.5e10),
+    "perlbench": SpecBenchmark("perlbench", 3.5e10, forks=True),
+    "x264": SpecBenchmark("x264", 4.0e11),
+    "xalancbmk": SpecBenchmark("xalancbmk", 8.5e10),
+    "xz": SpecBenchmark("xz", 5.0e9),
+}
+
+
+def benchmark_names() -> List[str]:
+    return sorted(SPECINT_2017)
+
+
+def total_instructions() -> float:
+    """The 'SPECint 2017' whole-suite bar of Fig. 13."""
+    return sum(b.dynamic_instructions for b in SPECINT_2017.values())

@@ -1,0 +1,129 @@
+"""Test harness wiring BPCs + LLC slices + memory controller directly.
+
+This bypasses the NoC (messages travel over fixed-delay scheduling) so the
+coherence protocol can be tested in isolation; full-system tests with the
+real NoC live in test_prototype.py.
+"""
+
+from __future__ import annotations
+
+from repro.axi import AxiPort
+from repro.cache import (Bpc, GlobalInterleaveHoming, L1Cache, LlcSlice,
+                         MemOp, load, store)
+from repro.cache.msgs import (DataM, DataS, Downgrade, DowngradeData, GetM,
+                              GetS, Inv, InvAck, PutM, WbAck)
+from repro.engine import Simulator
+from repro.mem import Dram, MainMemory, NocAxiMemoryController
+from repro.noc import TileAddr
+
+#: Messages whose destination is a private cache.
+_BPC_MSGS = (DataS, DataM, WbAck, Inv, Downgrade)
+
+
+class CoherenceHarness:
+    """N tiles (BPC + LLC slice each) over one memory controller."""
+
+    def __init__(self, n_tiles: int = 4, msg_delay: int = 5,
+                 bpc_kwargs=None, llc_kwargs=None):
+        self.sim = Simulator()
+        self.n_tiles = n_tiles
+        self.msg_delay = msg_delay
+        self.memory = MainMemory(1 << 20)
+        dram = Dram(self.sim, "dram", self.memory, latency=30)
+        axi = AxiPort(self.sim, "axi", dram, latency=2)
+        self.controller = NocAxiMemoryController(
+            self.sim, "mc", axi, self._mem_respond)
+        self.homing = GlobalInterleaveHoming(1, n_tiles)
+        self.bpcs = []
+        self.llcs = []
+        for tile in range(n_tiles):
+            addr = TileAddr(0, tile)
+            bpc = Bpc(self.sim, f"bpc{tile}", addr, self.homing,
+                      self._send_msg, **(bpc_kwargs or {}))
+            llc = LlcSlice(self.sim, f"llc{tile}", addr, self._send_msg,
+                           self._send_mem, **(llc_kwargs or {}))
+            self.bpcs.append(bpc)
+            self.llcs.append(llc)
+        self.l1s = [L1Cache(self.sim, f"l1_{t}", self.bpcs[t])
+                    for t in range(n_tiles)]
+
+    # ------------------------------------------------------------------
+    # Transport (fixed-delay, type-dispatched)
+    # ------------------------------------------------------------------
+    def _send_msg(self, msg, dst: TileAddr) -> None:
+        if isinstance(msg, _BPC_MSGS):
+            target = self.bpcs[dst.tile].handle_msg
+        else:
+            target = self.llcs[dst.tile].handle_request
+        self.sim.schedule(self.msg_delay, target, msg)
+
+    def _send_mem(self, request, node: int) -> None:
+        self.sim.schedule(self.msg_delay, self.controller.handle_request,
+                          request)
+
+    def _mem_respond(self, resp, requester: TileAddr) -> None:
+        self.sim.schedule(self.msg_delay,
+                          self.llcs[requester.tile].handle_mem_resp, resp)
+
+    # ------------------------------------------------------------------
+    # Convenience: blocking-style ops driven to completion
+    # ------------------------------------------------------------------
+    def do(self, tile: int, op: MemOp, through_l1: bool = False):
+        """Run one op to completion; returns (result, latency_cycles)."""
+        result = []
+        start = self.sim.now
+        cache = self.l1s[tile] if through_l1 else self.bpcs[tile]
+        cache.access(op, result.append)
+        self.sim.run()
+        assert result, f"op {op} never completed"
+        return result[0], self.sim.now - start
+
+    def read_u64(self, tile: int, addr: int) -> int:
+        data, _ = self.do(tile, load(addr, 8))
+        return int.from_bytes(data, "little")
+
+    def write_u64(self, tile: int, addr: int, value: int) -> None:
+        self.do(tile, store(addr, value.to_bytes(8, "little")))
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """After quiescing: SWMR + directory/private-state agreement."""
+        assert self.sim.pending == 0, "system not quiesced"
+        lines = set()
+        for bpc in self.bpcs:
+            for entry in bpc.array.entries():
+                lines.add(entry.line_addr)
+        for llc in self.llcs:
+            for entry in llc.array.entries():
+                lines.add(entry.line_addr)
+        for line in lines:
+            home = self.homing.home_of(line, TileAddr(0, 0))
+            llc = self.llcs[home.tile]
+            states = {t: self.bpcs[t].state_of(line)
+                      for t in range(self.n_tiles)}
+            owners = [t for t, s in states.items() if s == "M"]
+            sharers = [t for t, s in states.items() if s == "S"]
+            # Single-writer / multiple-reader
+            assert len(owners) <= 1, f"line {line:#x}: two owners {owners}"
+            assert not (owners and sharers), \
+                f"line {line:#x}: owner {owners} plus sharers {sharers}"
+            dir_state = llc.dir_state(line)
+            if owners:
+                assert dir_state == "M", \
+                    f"line {line:#x}: BPC M but dir {dir_state}"
+                assert llc.owner_of(line) == TileAddr(0, owners[0])
+            if sharers:
+                assert dir_state == "S", \
+                    f"line {line:#x}: BPC S but dir {dir_state}"
+                listed = {a.tile for a in llc.sharers_of(line)}
+                assert set(sharers) <= listed, \
+                    f"line {line:#x}: sharers {sharers} not all in dir {listed}"
+            # Value agreement: every S copy matches the LLC copy.
+            if dir_state == "S":
+                llc_entry = llc.array.lookup(line, touch=False)
+                for t in sharers:
+                    assert self.bpcs[t].peek(line, 64) == \
+                        bytes(llc_entry.payload.data), \
+                        f"line {line:#x}: S copy at tile {t} diverged"

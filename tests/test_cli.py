@@ -1,0 +1,71 @@
+"""Tests for the command-line interface (the build-script workflow)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDescribe:
+    def test_describe_4x1x12(self, capsys):
+        assert main(["describe", "4x1x12"]) == 0
+        out = capsys.readouterr().out
+        assert "4x1x12" in out
+        assert "48" in out           # cores total
+        assert "75 MHz" in out
+        assert "f1.16xlarge" in out
+
+    def test_describe_small_config(self, capsys):
+        assert main(["describe", "1x1x2"]) == 0
+        out = capsys.readouterr().out
+        assert "100 MHz" in out
+        assert "f1.2xlarge" in out
+
+    def test_describe_bad_config_fails_cleanly(self, capsys):
+        assert main(["describe", "9x9x99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_lists_fitting_configs(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "1x12" in out
+        assert "4x2" in out
+        assert "1x13" not in out     # does not fit
+
+    def test_sweep_other_core(self, capsys):
+        assert main(["sweep", "--core", "picorv32"]) == 0
+        out = capsys.readouterr().out
+        # Small cores allow far more tiles per node.
+        assert "1x30" in out
+
+
+class TestLatency:
+    def test_latency_single_node(self, capsys):
+        assert main(["latency", "1x1x4"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-node" in out
+        assert "inter-node" not in out
+
+    def test_latency_multi_node(self, capsys):
+        assert main(["latency", "2x1x2"]) == 0
+        out = capsys.readouterr().out
+        assert "inter-node" in out
+        assert "NUMA ratio" in out
+
+
+class TestHello:
+    def test_hello_prints_console(self, capsys):
+        assert main(["hello"]) == 0
+        out = capsys.readouterr().out
+        assert "Hello, world!" in out
+        assert "ms at" in out
+
+
+class TestCost:
+    def test_cost_table(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "smappic" in out
+        assert "SPECint 2017" in out
+        assert "sniper" in out

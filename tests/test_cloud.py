@@ -1,0 +1,105 @@
+"""Tests for the Fig. 12 cloud pipeline and the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (bar_chart, block_summary, heatmap, render_table)
+from repro.cloud import (CloudPipeline, HttpRequest, MS, S3Bucket)
+from repro.engine import Simulator
+
+
+class TestS3:
+    def test_get_returns_seeded_object_after_latency(self):
+        sim = Simulator()
+        bucket = S3Bucket(sim, "b", seed=1)
+        bucket.put("key", b"value")
+        got = []
+        bucket.get("key", got.append)
+        sim.run()
+        assert got == [b"value"]
+        assert sim.now >= MS  # at least a millisecond of latency
+
+    def test_missing_object_returns_none(self):
+        sim = Simulator()
+        bucket = S3Bucket(sim, "b")
+        got = []
+        bucket.get("nope", got.append)
+        sim.run()
+        assert got == [None]
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        pipeline = CloudPipeline()
+        pipeline.seed_object("data", b"payload-from-s3")
+        return pipeline.run_request("/data")
+
+    def test_request_succeeds_with_s3_payload(self, trace):
+        assert trace.response.ok
+        assert trace.response.body == b"payload-from-s3"
+
+    def test_date_attached_by_php(self, trace):
+        assert "X-Date" in trace.response.headers
+        assert trace.response.headers["X-Date"].startswith("cycle-")
+
+    def test_stage_breakdown_covers_total(self, trace):
+        breakdown = trace.stage_breakdown_ms()
+        assert set(breakdown) == {"gateway+network", "nginx+cgi", "s3_fetch",
+                                  "php+respond", "return_path"}
+        assert sum(breakdown.values()) == pytest.approx(trace.total_ms,
+                                                        rel=0.01)
+
+    def test_s3_fetch_dominates(self, trace):
+        """Intra-region S3 GET (~15 ms) is the slowest stage."""
+        breakdown = trace.stage_breakdown_ms()
+        assert breakdown["s3_fetch"] == max(breakdown.values())
+
+    def test_latency_in_datacenter_band(self, trace):
+        assert 5.0 <= trace.total_ms <= 100.0
+
+    def test_missing_object_gives_404(self):
+        pipeline = CloudPipeline()
+        trace = pipeline.run_request("/ghost")
+        assert trace.response.status == 404
+
+    def test_multiple_sequential_requests(self):
+        pipeline = CloudPipeline()
+        pipeline.seed_object("a", b"A")
+        pipeline.seed_object("b", b"B")
+        first = pipeline.run_request("/a")
+        second = pipeline.run_request("/b")
+        assert first.response.body == b"A"
+        assert second.response.body == b"B"
+        assert second.submitted_at >= first.completed_at
+
+
+class TestAnalysis:
+    def test_render_table_aligns(self):
+        text = render_table(["name", "value"],
+                            [["one", 1.5], ["twotwotwo", 22.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_none_as_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bar_chart_handles_none(self):
+        text = bar_chart(["x"], {"s1": [2.0], "s2": [None]})
+        assert "(n/a)" in text
+        assert "#" in text
+
+    def test_heatmap_scale(self):
+        text = heatmap([[0, 100], [50, 100]])
+        assert "scale:" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3
+
+    def test_block_summary_separates_numa_domains(self):
+        matrix = [[0, 10, 90, 90],
+                  [10, 0, 90, 90],
+                  [90, 90, 0, 10],
+                  [90, 90, 10, 0]]
+        summary = block_summary(matrix, block=2)
+        assert summary["intra_node_mean"] == pytest.approx(10)
+        assert summary["inter_node_mean"] == pytest.approx(90)

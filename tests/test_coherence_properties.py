@@ -1,0 +1,98 @@
+"""Property-based tests: the memory system behaves like memory.
+
+Hypothesis drives random load/store interleavings through the coherence
+harness and checks functional correctness against a flat reference model,
+plus the SWMR/directory invariants after quiescing.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import load, store
+from repro.cache.array import CacheArray
+
+from coherence_harness import CoherenceHarness
+
+# Small pools so caches overflow and lines collide: 12 lines across 3 sets.
+ADDRS = [s * 2048 + i * 64 for i in range(4) for s in range(3)]
+
+op_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),            # tile
+    st.sampled_from(ADDRS),                           # line address
+    st.integers(min_value=0, max_value=7),            # offset word
+    st.one_of(st.none(), st.integers(0, 2 ** 64 - 1)),  # None=load, else store
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy, min_size=1, max_size=60))
+def test_sequential_ops_match_flat_memory(ops):
+    harness = CoherenceHarness()
+    reference = {}
+    for tile, base, word, value in ops:
+        addr = base + word * 8
+        if value is None:
+            got = harness.read_u64(tile, addr)
+            assert got == reference.get(addr, 0), (
+                f"load {addr:#x} from tile {tile}: got {got}, "
+                f"expected {reference.get(addr, 0)}")
+        else:
+            harness.write_u64(tile, addr, value)
+            reference[addr] = value
+    harness.check_invariants()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy, min_size=1, max_size=40))
+def test_concurrent_ops_complete_and_preserve_invariants(ops):
+    harness = CoherenceHarness()
+    completed = []
+    writers = {}
+    for tile, base, word, value in ops:
+        addr = base + word * 8
+        if value is None:
+            op = load(addr)
+        else:
+            op = store(addr, value.to_bytes(8, "little"))
+            writers.setdefault(addr, set()).add(value)
+        harness.bpcs[tile].access(op, lambda r: completed.append(r))
+    harness.sim.run()
+    assert len(completed) == len(ops), "an operation never completed"
+    harness.check_invariants()
+    # Every address ends at 0 or one of the concurrently-written values.
+    for addr, values in writers.items():
+        final = harness.read_u64(0, addr)
+        assert final in values, (
+            f"{addr:#x} ended at {final}, not one of {values}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=200))
+def test_cache_array_capacity_and_lru(line_indices):
+    """The array never exceeds its ways, and the LRU victim is correct."""
+    array = CacheArray(size_bytes=4 * 64 * 2, ways=4, line_bytes=64)  # 2 sets
+    resident_order = {}  # line -> last-touch tick
+    tick = 0
+    for index in line_indices:
+        line = index * 64
+        tick += 1
+        entry = array.lookup(line)
+        if entry is None:
+            victim = array.victim_for(line)
+            if victim is not None:
+                # Victim must be the least recently used in its set.
+                victim_set = (victim.line_addr // 64) % 2
+                same_set = [l for l in resident_order
+                            if (l // 64) % 2 == victim_set]
+                oldest = min(same_set, key=lambda l: resident_order[l])
+                assert victim.line_addr == oldest
+                array.remove(victim.line_addr)
+                del resident_order[victim.line_addr]
+            array.insert(line, None)
+        resident_order[line] = tick
+        for set_dict in array._sets:
+            assert len(set_dict) <= 4
+    assert array.resident == len(resident_order)

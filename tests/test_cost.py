@@ -1,0 +1,118 @@
+"""Tests for the cost models: Table 3, Fig. 13, Fig. 14, Sec. 4.5."""
+
+import pytest
+
+from repro.cost import (CostComparison, SIMULATORS, benchmark_costs,
+                        cheapest_for, gem5_cost_ratio, suite_costs,
+                        table3_rows, verilator_cost_efficiency_ratio)
+from repro.errors import ConfigError, WorkloadError
+from repro.workloads import SPECINT_2017
+
+
+class TestInstanceSelection:
+    def test_cheapest_small_host(self):
+        assert cheapest_for(vcpus=2, memory_gb=8).name == "t3.m"
+
+    def test_memory_forces_bigger_host(self):
+        assert cheapest_for(memory_gb=64).name == "r5.2xl"
+        assert cheapest_for(memory_gb=350).name == "x1e.4xl"
+
+    def test_fpga_forces_f1(self):
+        assert cheapest_for(fpgas=1).name == "f1.2xl"
+
+    def test_impossible_requirements_rejected(self):
+        with pytest.raises(ConfigError):
+            cheapest_for(memory_gb=10_000)
+
+
+class TestTable3:
+    def test_rows_match_paper(self):
+        rows = {row["tool"]: row for row in table3_rows()}
+        assert rows["sniper"]["instance"] == "t3.m"
+        assert rows["sniper"]["price_per_hour"] == 0.04
+        assert rows["gem5"]["instance"] == "r5.2xl"
+        assert rows["gem5"]["price_per_hour"] == 0.45
+        assert rows["verilator"]["instance"] == "t3.m"
+        assert rows["smappic"]["instance"] == "f1.2xl"
+        assert rows["smappic"]["price_per_hour"] == 1.65
+
+    def test_vcpu_and_memory_columns(self):
+        rows = {row["tool"]: row for row in table3_rows()}
+        assert rows["sniper"]["vcpus"] == 2
+        assert rows["gem5"]["memory_gb"] == 64
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def costs(self):
+        return benchmark_costs()
+
+    def test_smappic_cheapest_everywhere(self, costs):
+        for benchmark, row in costs.items():
+            others = [v for tool, v in row.items()
+                      if tool != "smappic" and v is not None]
+            assert all(row["smappic"] < other for other in others), benchmark
+
+    def test_firesim_single_about_4x(self, costs):
+        for row in costs.values():
+            ratio = row["firesim-single"] / row["smappic"]
+            assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_firesim_supernode_about_2x(self, costs):
+        for row in costs.values():
+            ratio = row["firesim-supernode"] / row["smappic"]
+            assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_sniper_cannot_run_perlbench(self, costs):
+        assert costs["perlbench"]["sniper"] is None
+        with pytest.raises(WorkloadError):
+            SIMULATORS["sniper"].cost_dollars(
+                1e9, SPECINT_2017["perlbench"])
+
+    def test_sniper_most_expensive_on_big_benchmarks(self, costs):
+        assert costs["gcc"]["sniper"] > 8.0      # the paper's ~11.56 bar
+        assert costs["gcc"]["sniper"] < 16.0
+
+    def test_small_benchmark_under_a_cent_on_smappic(self, costs):
+        assert costs["xz"]["smappic"] < 0.01
+
+    def test_gem5_4_to_5_orders_worse(self):
+        ratio = gem5_cost_ratio()
+        assert 1e4 <= ratio <= 1e5
+
+    def test_gem5_mcf_uses_giant_host(self):
+        gem5 = SIMULATORS["gem5"]
+        assert gem5.host_for(SPECINT_2017["mcf"]).memory_gb >= 350
+        assert gem5.host_for(SPECINT_2017["gcc"]).name == "r5.2xl"
+
+    def test_suite_totals_ordering(self):
+        totals = suite_costs()
+        assert totals["smappic"] < totals["firesim-supernode"] \
+            < totals["firesim-single"] < totals["sniper"]
+
+
+class TestVerilatorComparison:
+    def test_cost_efficiency_about_1600x(self):
+        # The paper's HelloWorld runs ~4 ms on SMAPPIC (~300-400k cycles).
+        ratio = verilator_cost_efficiency_ratio(prototype_cycles=300_000)
+        assert 1000 <= ratio <= 2200
+
+
+class TestFig14:
+    def test_crossover_near_200_days(self):
+        days = CostComparison().crossover_days()
+        assert 190 <= days <= 215
+
+    def test_cloud_cheaper_before_crossover(self):
+        comparison = CostComparison()
+        assert comparison.cloud_cost(100) < comparison.onprem_cost(100)
+        assert comparison.cloud_cost(300) > comparison.onprem_cost(300)
+
+    def test_series_shape(self):
+        series = CostComparison().series(max_days=350, step=50)
+        assert series["days"][0] == 0
+        assert series["days"][-1] == 350
+        assert series["cloud"][0] == 0.0
+        assert series["onprem"][0] == 8000.0
+        # Cloud cost grows linearly.
+        assert series["cloud"][-1] == pytest.approx(350 * 24 * 1.65)

@@ -1,0 +1,441 @@
+"""Tests for accelerators (GNG, MAPLE), interrupts, UART, and virtual SD."""
+
+import math
+import statistics
+
+import pytest
+
+from repro import build
+from repro.accel import (FETCH1, FETCH2, FETCH4, GaussianNoiseGenerator,
+                         GngAccelerator, MODE_INDIRECT, MODE_STREAM,
+                         MapleEngine, REG_COUNT, REG_DATA_BASE,
+                         REG_INDEX_BASE, REG_MODE, REG_POP, REG_START,
+                         Tausworthe, sample_to_float)
+from repro.core.addrmap import MMIO_TILE_WINDOW
+from repro.cpu import TraceCore
+from repro.io import Host
+from repro.irq import (IRQ_SOFTWARE, IRQ_TIMER, InterruptDepacketizer,
+                       REG_MSIP_CLEAR, REG_MSIP_SET, REG_TIMER_DELAY,
+                       REG_TIMER_TARGET)
+from repro.noc import CHIPSET, TileAddr
+
+
+def make_system(label="1x1x2", accel_tile=1, accel="gng"):
+    """Prototype with a trace core on tile 0 and an accelerator on tile 1."""
+    proto = build(label)
+    core = TraceCore(proto.sim, "core", proto.tile(0, 0), proto.addrmap)
+    if accel == "gng":
+        device = GngAccelerator(proto.sim, "gng", seed=7)
+        proto.tile(0, accel_tile).attach_device(device)
+    elif accel == "maple":
+        device = MapleEngine(proto.sim, "maple", proto.tile(0, accel_tile))
+    else:
+        device = None
+    return proto, core, device
+
+
+def accel_mmio(proto, tile=1, offset=0):
+    return proto.addrmap.mmio_base(TileAddr(0, tile)) + offset
+
+
+def chipset_mmio(proto, node=0, offset=0):
+    return proto.addrmap.mmio_base(TileAddr(node, CHIPSET)) + offset
+
+
+def run_program(proto, core, program):
+    done = []
+    core.run_program(program, lambda c: done.append(c))
+    proto.run()
+    assert done, "program did not finish"
+    return done[0]
+
+
+class TestTausworthe:
+    def test_deterministic(self):
+        a, b = Tausworthe(5), Tausworthe(5)
+        assert [a.next_u32() for _ in range(10)] \
+            == [b.next_u32() for _ in range(10)]
+
+    def test_seed_sensitivity(self):
+        assert Tausworthe(1).next_u32() != Tausworthe(2).next_u32()
+
+    def test_unit_range(self):
+        gen = Tausworthe(9)
+        for _ in range(1000):
+            value = gen.next_unit()
+            assert 0.0 < value < 1.0
+
+
+class TestGaussianNoise:
+    def test_statistics(self):
+        gen = GaussianNoiseGenerator(seed=3)
+        values = [gen.next_float() for _ in range(20000)]
+        assert abs(statistics.mean(values)) < 0.05
+        assert abs(statistics.stdev(values) - 1.0) < 0.05
+
+    def test_fixed_point_roundtrip(self):
+        gen = GaussianNoiseGenerator(seed=4)
+        for _ in range(100):
+            sample = gen.next_sample()
+            value = sample_to_float(sample)
+            assert -16.0 <= value < 16.0
+
+    def test_sw_hw_streams_identical(self):
+        """The paper's benchmark A correctness check: same algorithm."""
+        proto, core, _gng = make_system()
+        base = accel_mmio(proto, 1, FETCH1)
+
+        def fetch_some(c):
+            got = []
+            for _ in range(32):
+                data = yield c.nc_load(base, 2)
+                got.append(int.from_bytes(data[:2], "little"))
+            c.result = got
+
+        run_program(proto, core, fetch_some)
+        software = GaussianNoiseGenerator(seed=7).samples(32)
+        assert core.result == software
+
+    def test_packed_fetches_match_singles(self):
+        proto, core, _ = make_system()
+        base4 = accel_mmio(proto, 1, FETCH4)
+
+        def fetch_packed(c):
+            data = yield c.nc_load(base4, 8)
+            c.result = [int.from_bytes(data[i:i + 2], "little")
+                        for i in range(0, 8, 2)]
+
+        run_program(proto, core, fetch_packed)
+        assert core.result == GaussianNoiseGenerator(seed=7).samples(4)
+
+    def test_wide_fetch_amortizes_latency(self):
+        samples = 64
+        proto, core, _ = make_system()
+        base1 = accel_mmio(proto, 1, FETCH1)
+
+        def singles(c):
+            for _ in range(samples):
+                yield c.nc_load(base1, 2)
+
+        start = proto.now
+        run_program(proto, core, singles)
+        time_singles = proto.now - start
+
+        proto2, core2, _ = make_system()
+        base4 = accel_mmio(proto2, 1, FETCH4)
+
+        def quads(c):
+            for _ in range(samples // 4):
+                yield c.nc_load(base4, 8)
+
+        start = proto2.now
+        run_program(proto2, core2, quads)
+        time_quads = proto2.now - start
+        assert time_quads < time_singles / 2
+
+
+class TestMaple:
+    def setup_gathered_data(self, proto, n=64):
+        # index[i] = permutation; data[index[i]] = index[i] * 3
+        idx_base, data_base = 0x10000, 0x20000
+        indices = [(i * 17) % n for i in range(n)]
+        for i, index in enumerate(indices):
+            proto.load_image(idx_base + 8 * i, index.to_bytes(8, "little"))
+        for j in range(n):
+            proto.load_image(data_base + 8 * j,
+                             (j * 3).to_bytes(8, "little"))
+        return idx_base, data_base, indices
+
+    def test_indirect_gather_supplies_correct_values(self):
+        proto, core, maple = make_system(accel="maple")
+        idx_base, data_base, indices = self.setup_gathered_data(proto)
+        mm = lambda reg: accel_mmio(proto, 1, reg)
+
+        def kernel(c):
+            yield c.nc_store(mm(REG_INDEX_BASE),
+                             idx_base.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_DATA_BASE),
+                             data_base.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_COUNT), (64).to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_MODE),
+                             MODE_INDIRECT.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_START), (1).to_bytes(8, "little"))
+            got = []
+            for _ in range(64):
+                data = yield c.nc_load(mm(REG_POP), 8)
+                got.append(int.from_bytes(data, "little"))
+            c.result = got
+
+        run_program(proto, core, kernel)
+        assert core.result == [index * 3 for index in indices]
+
+    def test_stream_mode(self):
+        proto, core, maple = make_system(accel="maple")
+        data_base = 0x30000
+        for i in range(16):
+            proto.load_image(data_base + 8 * i,
+                             (100 + i).to_bytes(8, "little"))
+        mm = lambda reg: accel_mmio(proto, 1, reg)
+
+        def kernel(c):
+            yield c.nc_store(mm(REG_DATA_BASE),
+                             data_base.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_COUNT), (16).to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_MODE), MODE_STREAM.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_START), (1).to_bytes(8, "little"))
+            got = []
+            for _ in range(16):
+                data = yield c.nc_load(mm(REG_POP), 8)
+                got.append(int.from_bytes(data, "little"))
+            c.result = got
+
+        run_program(proto, core, kernel)
+        assert core.result == list(range(100, 116))
+
+    def test_pop_blocks_until_data_ready(self):
+        """A pop issued before prefetch completes is held, not dropped."""
+        proto, core, maple = make_system(accel="maple")
+        data_base = 0x40000
+        proto.load_image(data_base, (7).to_bytes(8, "little"))
+        mm = lambda reg: accel_mmio(proto, 1, reg)
+
+        def kernel(c):
+            yield c.nc_store(mm(REG_DATA_BASE),
+                             data_base.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_COUNT), (1).to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_MODE), MODE_STREAM.to_bytes(8, "little"))
+            yield c.nc_store(mm(REG_START), (1).to_bytes(8, "little"))
+            data = yield c.nc_load(mm(REG_POP), 8)
+            c.result = int.from_bytes(data, "little")
+
+        run_program(proto, core, kernel)
+        assert core.result == 7
+
+
+class TestInterrupts:
+    def test_software_interrupt_reaches_tile(self):
+        proto, core, _ = make_system(accel=None)
+        changes = []
+        depack = InterruptDepacketizer(
+            proto.tile(0, 1), on_change=lambda c, l: changes.append((c, l)))
+        set_addr = chipset_mmio(proto, 0, 0x300 + REG_MSIP_SET)
+        clear_addr = chipset_mmio(proto, 0, 0x300 + REG_MSIP_CLEAR)
+
+        def program(c):
+            yield c.nc_store(set_addr, (1).to_bytes(8, "little"))
+            yield c.delay(100)
+            yield c.nc_store(clear_addr, (1).to_bytes(8, "little"))
+
+        run_program(proto, core, program)
+        assert changes == [(IRQ_SOFTWARE, True), (IRQ_SOFTWARE, False)]
+        assert not depack.any_pending()
+
+    def test_cross_node_interrupt(self):
+        """The packetized path crosses node boundaries (Fig. 6's point)."""
+        proto = build("2x1x2")
+        core = TraceCore(proto.sim, "core", proto.tile(0, 0), proto.addrmap)
+        changes = []
+        InterruptDepacketizer(
+            proto.tile(1, 1), on_change=lambda c, l: changes.append((c, l)))
+        # Target encoding: (node << 16) | tile -> node 1, tile 1.
+        target = (1 << 16) | 1
+        set_addr = chipset_mmio(proto, 0, 0x300 + REG_MSIP_SET)
+
+        def program(c):
+            yield c.nc_store(set_addr, target.to_bytes(8, "little"))
+
+        run_program(proto, core, program)
+        assert changes == [(IRQ_SOFTWARE, True)]
+
+    def test_timer_interrupt_fires_after_delay(self):
+        proto, core, _ = make_system(accel=None)
+        fired = []
+        InterruptDepacketizer(
+            proto.tile(0, 1),
+            on_change=lambda c, l: fired.append((proto.now, c, l)))
+        target_addr = chipset_mmio(proto, 0, 0x300 + REG_TIMER_TARGET)
+        delay_addr = chipset_mmio(proto, 0, 0x300 + REG_TIMER_DELAY)
+
+        def program(c):
+            yield c.nc_store(target_addr, (1).to_bytes(8, "little"))
+            yield c.nc_store(delay_addr, (500).to_bytes(8, "little"))
+            yield c.delay(1000)
+
+        armed_at = proto.now
+        run_program(proto, core, program)
+        assert len(fired) == 1
+        when, cause, level = fired[0]
+        assert cause == IRQ_TIMER and level
+        assert when >= armed_at + 500
+
+
+class TestUart:
+    def test_console_transmit(self):
+        proto, core, _ = make_system(accel=None)
+        host = Host(proto.nodes[0])
+        thr = chipset_mmio(proto, 0, 0x000)
+
+        def program(c):
+            for byte in b"ok\n":
+                yield c.nc_store(thr, bytes([byte]))
+
+        run_program(proto, core, program)
+        assert host.console_output() == "ok\n"
+
+    def test_console_receive(self):
+        proto, core, _ = make_system(accel=None)
+        host = Host(proto.nodes[0])
+        host.type_line("hi")
+        rbr = chipset_mmio(proto, 0, 0x000)
+        lsr = chipset_mmio(proto, 0, 0x028)
+
+        def program(c):
+            got = bytearray()
+            for _ in range(200):
+                status = yield c.nc_load(lsr, 1)
+                if status[0] & 0x01:
+                    data = yield c.nc_load(rbr, 1)
+                    if data[0]:
+                        got.append(data[0])
+                    if got.endswith(b"\n"):
+                        break
+                else:
+                    yield c.delay(2000)
+            c.result = bytes(got)
+
+        run_program(proto, core, program)
+        assert core.result == b"hi\n"
+
+    def test_baud_rate_paces_transmission(self):
+        # 115200 baud at 100 MHz -> ~8681 cycles per byte.
+        proto, core, _ = make_system(accel=None)
+        host = Host(proto.nodes[0])
+        thr = chipset_mmio(proto, 0, 0x000)
+
+        def program(c):
+            for byte in b"12345678":
+                yield c.nc_store(thr, bytes([byte]))
+
+        start = proto.now
+        run_program(proto, core, program)
+        # Drain: run until the TX FIFO empties.
+        proto.run()
+        elapsed = proto.now - start
+        assert elapsed >= 8 * 8000
+        assert host.console_output() == "12345678"
+
+    def test_data_uart_is_faster(self):
+        from repro.io import cycles_per_byte
+        assert cycles_per_byte(1_000_000) < cycles_per_byte(115_200) / 5
+
+
+class TestVirtualSd:
+    def test_host_image_then_prototype_read(self):
+        proto, core, _ = make_system(accel=None)
+        host = Host(proto.nodes[0])
+        image = bytes(range(256)) * 4    # two blocks
+        loaded = []
+        host.load_sd_image(image, lambda: loaded.append(True))
+        proto.run()
+        assert loaded
+        block_reg = chipset_mmio(proto, 0, 0x200 + 0x00)
+        data_reg = chipset_mmio(proto, 0, 0x200 + 0x08)
+
+        def program(c):
+            yield c.nc_store(block_reg, (1).to_bytes(8, "little"))
+            data = yield c.nc_load(data_reg, 8)
+            c.result = data
+
+        run_program(proto, core, program)
+        assert core.result == image[512:520]
+
+    def test_sd_write_and_readback(self):
+        proto, core, _ = make_system(accel=None)
+        block_reg = chipset_mmio(proto, 0, 0x200 + 0x00)
+        data_reg = chipset_mmio(proto, 0, 0x200 + 0x08)
+        offset_reg = chipset_mmio(proto, 0, 0x200 + 0x10)
+
+        def program(c):
+            yield c.nc_store(block_reg, (3).to_bytes(8, "little"))
+            yield c.nc_store(data_reg, b"SDDATA!!")
+            yield c.nc_store(offset_reg, (0).to_bytes(8, "little"))
+            data = yield c.nc_load(data_reg, 8)
+            c.result = data
+
+        run_program(proto, core, program)
+        assert core.result == b"SDDATA!!"
+
+    def test_sd_region_is_top_half_of_dram(self):
+        proto, _, _ = make_system(accel=None)
+        sd_base = proto.addrmap.sd_base(0)
+        node_base = proto.addrmap.node_dram_base(0)
+        size = proto.config.dram_bytes_per_node
+        assert sd_base == node_base + size // 2
+
+
+class TestAxiLiteTunnel:
+    """The host daemon path of Fig. 2: UART <-> AXI-Lite <-> virtual tty."""
+
+    def test_transmit_reaches_user_through_tunnel(self):
+        from repro.io import AxiLiteSerialTunnel
+        proto, core, _ = make_system(accel=None)
+        tunnel = AxiLiteSerialTunnel(proto.sim, "tunnel0",
+                                     proto.nodes[0].chipset.console_uart)
+        thr = chipset_mmio(proto, 0, 0x000)
+
+        def program(c):
+            for byte in b"tunneled":
+                yield c.nc_store(thr, bytes([byte]))
+
+        run_program(proto, core, program)
+        proto.run(until=proto.now + 200_000)   # let the daemon poll
+        assert tunnel.text == "tunneled"
+        assert tunnel.stats.get("polls") > 0
+
+    def test_tunnel_adds_latency_over_direct_path(self):
+        from repro.io import AxiLiteSerialTunnel
+        proto, core, _ = make_system(accel=None)
+        uart = proto.nodes[0].chipset.console_uart
+        tunnel = AxiLiteSerialTunnel(proto.sim, "tunnel0", uart)
+        thr = chipset_mmio(proto, 0, 0x000)
+        arrival = {}
+
+        def stamp(byte):
+            arrival["t"] = proto.now
+        tunnel.device.on_byte = stamp
+
+        sent_at = {}
+
+        def program(c):
+            sent_at["t"] = c.now
+            yield c.nc_store(thr, b"x")
+
+        run_program(proto, core, program)
+        proto.run(until=proto.now + 200_000)
+        # Baud pacing (~8.7k cycles) + poll interval + PCIe round trip.
+        assert arrival["t"] - sent_at["t"] > 8_000 + 300
+
+    def test_user_input_reaches_prototype(self):
+        from repro.io import AxiLiteSerialTunnel
+        proto, core, _ = make_system(accel=None)
+        tunnel = AxiLiteSerialTunnel(proto.sim, "tunnel0",
+                                     proto.nodes[0].chipset.console_uart)
+        tunnel.type_line("go")
+        rbr = chipset_mmio(proto, 0, 0x000)
+        lsr = chipset_mmio(proto, 0, 0x028)
+
+        def program(c):
+            got = bytearray()
+            for _ in range(400):
+                status = yield c.nc_load(lsr, 1)
+                if status[0] & 0x01:
+                    data = yield c.nc_load(rbr, 1)
+                    got.append(data[0])
+                    if got.endswith(b"\n"):
+                        break
+                else:
+                    yield c.delay(2000)
+            c.result = bytes(got)
+
+        run_program(proto, core, program)
+        assert core.result == b"go\n"

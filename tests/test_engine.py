@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.engine import Histogram, Link, Simulator, StatGroup, derive_seed, derived_rng
+from repro.errors import SimulationError
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "b")
+        sim.schedule(5, order.append, "a")
+        sim.schedule(20, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20
+
+    def test_ties_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(7, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(7, order.append, "late", priority=1)
+        sim.schedule(7, order.append, "early", priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_run_until_advances_time_but_keeps_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, 1)
+        executed = sim.run(until=50)
+        assert executed == 0
+        assert sim.now == 50
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule(3, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+
+class TestLink:
+    def test_latency_only(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, "l", lambda m: arrivals.append((sim.now, m)),
+                    latency=5, cycles_per_unit=0.0)
+        link.send("x", units=1)
+        sim.run()
+        assert arrivals == [(5, "x")]
+
+    def test_serialization_occupies_link(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, "l", lambda m: arrivals.append((sim.now, m)),
+                    latency=2, cycles_per_unit=1.0)
+        link.send("a", units=4)   # departs 0, serializes 4, arrives 6
+        link.send("b", units=2)   # departs 4, serializes 2, arrives 8
+        sim.run()
+        assert arrivals == [(6, "a"), (8, "b")]
+
+    def test_back_to_back_bandwidth(self):
+        sim = Simulator()
+        times = []
+        link = Link(sim, "l", lambda m: times.append(sim.now),
+                    latency=0, cycles_per_unit=2.0)
+        for _ in range(3):
+            link.send("m", units=1)
+        sim.run()
+        assert times == [2, 4, 6]
+
+
+class TestStats:
+    def test_counters_autovivify(self):
+        group = StatGroup("g")
+        group.inc("hits")
+        group.inc("hits", 2)
+        assert group.get("hits") == 3
+        assert group.get("misses") == 0
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in [1, 2, 2, 3, 10]:
+            hist.add(value)
+        assert hist.count == 5
+        assert hist.min == 1
+        assert hist.max == 10
+        assert hist.mean == pytest.approx(3.6)
+        assert hist.percentile(50) == 2
+        assert hist.percentile(100) == 10
+
+    def test_observe_shows_up_in_report(self):
+        group = StatGroup("g")
+        group.observe("latency", 10)
+        group.observe("latency", 20)
+        report = group.as_dict()
+        assert report["latency.mean"] == 15
+        assert report["latency.count"] == 2
+
+
+class TestRng:
+    def test_derive_seed_is_stable_and_name_sensitive(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+    def test_derived_rng_streams_reproducible(self):
+        a = derived_rng(42, "workload", "is")
+        b = derived_rng(42, "workload", "is")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]

@@ -1,0 +1,99 @@
+"""Tests for the F1 catalog, resource model (Table 4), and build flow."""
+
+import pytest
+
+from repro.errors import ConfigError, ResourceError
+from repro.fpga import (F1_INSTANCES, cheapest_instance_for, estimate,
+                        estimate_build, max_tiles_per_fpga)
+
+
+class TestF1Catalog:
+    def test_table1_shapes(self):
+        assert F1_INSTANCES["f1.2xlarge"].fpgas == 1
+        assert F1_INSTANCES["f1.4xlarge"].fpgas == 2
+        assert F1_INSTANCES["f1.16xlarge"].fpgas == 8
+
+    def test_table1_prices(self):
+        assert F1_INSTANCES["f1.2xlarge"].price_per_hour == 1.65
+        assert F1_INSTANCES["f1.4xlarge"].price_per_hour == 3.30
+        assert F1_INSTANCES["f1.16xlarge"].price_per_hour == 13.20
+
+    def test_price_per_fpga_hour_is_constant(self):
+        for inst in F1_INSTANCES.values():
+            assert inst.price_per_fpga_hour == pytest.approx(1.65)
+
+    def test_cheapest_instance(self):
+        assert cheapest_instance_for(1).name == "f1.2xlarge"
+        assert cheapest_instance_for(2).name == "f1.4xlarge"
+        assert cheapest_instance_for(3).name == "f1.16xlarge"
+        assert cheapest_instance_for(4).name == "f1.16xlarge"
+
+    def test_more_than_four_linked_fpgas_rejected(self):
+        with pytest.raises(ConfigError):
+            cheapest_instance_for(5)
+        # Independent (unlinked) prototypes may still use all 8.
+        assert cheapest_instance_for(8, require_linked=False).name \
+            == "f1.16xlarge"
+
+
+class TestResourceModel:
+    """The model must reproduce Table 4 of the paper."""
+
+    TABLE4 = [
+        # (nodes, tiles, frequency MHz, utilization %)
+        (1, 12, 75.0, 97),
+        (1, 10, 100.0, 83),
+        (2, 4, 100.0, 73),
+        (2, 5, 75.0, 88),
+        (4, 2, 100.0, 87),
+    ]
+
+    @pytest.mark.parametrize("nodes,tiles,freq,util", TABLE4)
+    def test_table4_frequency_exact(self, nodes, tiles, freq, util):
+        report = estimate(nodes, tiles, "ariane")
+        assert report.frequency_mhz == freq
+
+    @pytest.mark.parametrize("nodes,tiles,freq,util", TABLE4)
+    def test_table4_utilization_within_2_percent(self, nodes, tiles, freq,
+                                                 util):
+        report = estimate(nodes, tiles, "ariane")
+        assert abs(report.utilization * 100 - util) <= 2.0
+
+    def test_max_12_ariane_tiles_per_fpga(self):
+        # Paper Sec. 4.8: "F1 FPGAs can fit at most 12 Ariane tiles".
+        assert max_tiles_per_fpga("ariane") == 12
+
+    def test_oversized_design_rejected(self):
+        with pytest.raises(ResourceError):
+            estimate(1, 14, "ariane")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ResourceError):
+            estimate(1, 2, "pentium4")
+
+    def test_accelerator_tiles_cheaper_than_cores(self):
+        plain = estimate(1, 6, "ariane")
+        with_maple = estimate(1, 6, "ariane", accel_tiles={"maple": 2})
+        assert with_maple.luts < plain.luts
+
+    def test_small_cores_fit_more(self):
+        assert max_tiles_per_fpga("picorv32") > max_tiles_per_fpga("ariane")
+
+
+class TestBuildFlow:
+    def test_reference_build_is_about_two_plus_two_hours(self):
+        report = estimate_build(1, 12, "ariane")
+        assert report.synthesis_hours == pytest.approx(2.0, abs=0.1)
+        assert report.afi_hours == 2.0
+        assert report.load_seconds == 10.0
+        assert report.build_memory_gb == pytest.approx(32.0, abs=2.0)
+
+    def test_smaller_designs_build_faster(self):
+        small = estimate_build(1, 2, "ariane")
+        large = estimate_build(1, 12, "ariane")
+        assert small.synthesis_hours < large.synthesis_hours
+
+    def test_total_hours(self):
+        report = estimate_build(1, 12, "ariane")
+        assert report.total_hours_to_first_run == pytest.approx(
+            report.synthesis_hours + 2.0 + 10.0 / 3600.0)

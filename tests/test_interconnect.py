@@ -1,0 +1,178 @@
+"""Unit tests for the inter-node bridge, encoding, and PCIe fabric."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import ConfigError, ProtocolError
+from repro.interconnect import (InterNodeBridge, PCIE_ONE_WAY_CYCLES,
+                                PcieFabric, decode_addr, encode_credit_addr,
+                                encode_write_addr, pack_header, pack_packet,
+                                unpack_header)
+from repro.noc import (CHIPSET, MsgClass, NocChannel, NodeNetwork, Packet,
+                       TileAddr)
+
+
+def make_packet(src, dst, channel=NocChannel.REQ, flits=2):
+    return Packet(src=src, dst=dst, channel=channel,
+                  msg_class=MsgClass.COHERENCE, payload_flits=flits)
+
+
+class TestEncoding:
+    def test_write_addr_roundtrip(self):
+        addr = encode_write_addr(dst_node=3, src_node=1,
+                                 channel=NocChannel.RESP, valid_flits=9)
+        decoded = decode_addr(addr)
+        assert decoded.dst_node == 3
+        assert decoded.src_node == 1
+        assert decoded.channel is NocChannel.RESP
+        assert decoded.valid_flits == 9
+        assert not decoded.is_credit
+
+    def test_credit_addr_roundtrip(self):
+        addr = encode_credit_addr(dst_node=2, src_node=0,
+                                  channel=NocChannel.WB)
+        decoded = decode_addr(addr)
+        assert decoded.dst_node == 2
+        assert decoded.src_node == 0
+        assert decoded.channel is NocChannel.WB
+        assert decoded.is_credit
+
+    def test_header_roundtrip(self):
+        packet = make_packet(TileAddr(1, 5), TileAddr(3, 11),
+                             NocChannel.WB, flits=9)
+        rebuilt = unpack_header(pack_header(packet))
+        assert rebuilt.src == packet.src
+        assert rebuilt.dst == packet.dst
+        assert rebuilt.channel is packet.channel
+        assert rebuilt.msg_class is packet.msg_class
+        assert rebuilt.payload_flits == 9
+
+    def test_header_roundtrip_chipset_tile(self):
+        packet = make_packet(TileAddr(0, 2), TileAddr(1, CHIPSET))
+        rebuilt = unpack_header(pack_header(packet))
+        assert rebuilt.dst.tile == CHIPSET
+
+    def test_pack_packet_length(self):
+        packet = make_packet(TileAddr(0, 0), TileAddr(1, 0), flits=9)
+        assert len(pack_packet(packet)) == 8 * 10  # header + 9 payload
+
+    def test_bad_decode_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_addr(0x1000)
+
+
+def build_pair(same_fpga=False, **bridge_kwargs):
+    """Two 2-tile nodes connected through the fabric."""
+    sim = Simulator()
+    placement = {0: 0, 1: 0 if same_fpga else 1}
+    fabric = PcieFabric(sim, "fabric", placement)
+    networks, bridges, received = [], [], []
+    for node in (0, 1):
+        net = NodeNetwork(sim, f"net{node}", node, 2)
+        for tile in range(2):
+            for channel in NocChannel:
+                net.register_endpoint(
+                    tile, channel,
+                    lambda p, n=node, t=tile: received.append((sim.now, n, t, p)))
+        bridge = InterNodeBridge(sim, f"bridge{node}", node, fabric, net,
+                                 **bridge_kwargs)
+        networks.append(net)
+        bridges.append(bridge)
+    return sim, networks, bridges, received
+
+
+class TestBridge:
+    def test_packet_crosses_fpga(self):
+        sim, nets, bridges, received = build_pair()
+        pkt = make_packet(TileAddr(0, 1), TileAddr(1, 1))
+        nets[0].inject(pkt, 1)
+        sim.run()
+        assert [(n, t, p) for _, n, t, p in received] == [(1, 1, pkt)]
+
+    def test_inter_fpga_latency_dominated_by_pcie(self):
+        sim, nets, bridges, received = build_pair()
+        pkt = make_packet(TileAddr(0, 0), TileAddr(1, 0))
+        nets[0].inject(pkt, 0)
+        sim.run()
+        arrival = received[0][0]
+        assert arrival >= PCIE_ONE_WAY_CYCLES
+        assert arrival < 3 * PCIE_ONE_WAY_CYCLES
+
+    def test_same_fpga_much_faster(self):
+        sim_far, nets, _, received_far = build_pair(same_fpga=False)
+        nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0)), 0)
+        sim_far.run()
+        far = received_far[0][0]
+        sim_near, nets2, _, received_near = build_pair(same_fpga=True)
+        nets2[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0)), 0)
+        sim_near.run()
+        near = received_near[0][0]
+        assert near < far / 2
+
+    def test_bidirectional_traffic(self):
+        sim, nets, bridges, received = build_pair()
+        nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 1)), 0)
+        nets[1].inject(make_packet(TileAddr(1, 1), TileAddr(0, 0)), 1)
+        sim.run()
+        assert len(received) == 2
+        destinations = {(n, t) for _, n, t, _ in received}
+        assert destinations == {(1, 1), (0, 0)}
+
+    def test_burst_exhausts_credits_then_recovers(self):
+        sim, nets, bridges, received = build_pair(credits=4)
+        for i in range(40):
+            nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 1)), 0)
+        sim.run()
+        assert len(received) == 40
+        assert bridges[0].stats.get("credit_stalls") > 0
+        assert bridges[0].stats.get("credit_polls") > 0
+        assert bridges[0].stats.get("credits_recovered") > 0
+        assert bridges[0].queued_packets == 0
+
+    def test_credit_conservation(self):
+        sim, nets, bridges, received = build_pair(credits=4)
+        for i in range(25):
+            nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0)), 0)
+        sim.run()
+        # After quiescing, available + owed-but-unpolled == max.
+        available = bridges[0].credits_available(1, NocChannel.REQ)
+        owed = bridges[1]._consumed.get((0, NocChannel.REQ), 0)
+        assert available + owed == bridges[0].max_credits
+
+    def test_channels_have_independent_credits(self):
+        sim, nets, bridges, received = build_pair(credits=2)
+        for i in range(10):
+            nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0),
+                                       NocChannel.REQ), 0)
+        for i in range(3):
+            nets[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0),
+                                       NocChannel.RESP), 0)
+        sim.run()
+        assert len(received) == 13
+
+    def test_traffic_shaper_slows_path(self):
+        sim_fast, nets_f, _, recv_f = build_pair()
+        nets_f[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0)), 0)
+        sim_fast.run()
+        sim_slow, nets_s, _, recv_s = build_pair(shaper_latency=500)
+        nets_s[0].inject(make_packet(TileAddr(0, 0), TileAddr(1, 0)), 0)
+        sim_slow.run()
+        assert recv_s[0][0] > recv_f[0][0] + 400
+
+    def test_local_packet_rejected(self):
+        sim, nets, bridges, _ = build_pair()
+        with pytest.raises(ProtocolError):
+            bridges[0].send_packet(make_packet(TileAddr(0, 0), TileAddr(0, 1)))
+
+
+class TestFabric:
+    def test_too_many_fpgas_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            PcieFabric(sim, "f", {i: i for i in range(5)})
+
+    def test_is_inter_fpga(self):
+        sim = Simulator()
+        fabric = PcieFabric(sim, "f", {0: 0, 1: 0, 2: 1})
+        assert not fabric.is_inter_fpga(0, 1)
+        assert fabric.is_inter_fpga(0, 2)

@@ -1,0 +1,172 @@
+"""Additional property-based tests across substrates."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.axi import align_request
+from repro.engine import Simulator
+from repro.interconnect import InterNodeBridge, PcieFabric
+from repro.noc import (MsgClass, NocChannel, NodeNetwork, Packet, TileAddr)
+from repro.osmodel import NumaMachine, Taskset
+from repro.workloads.intsort import IntSortModel, IntSortParams
+
+
+# ---------------------------------------------------------------------------
+# NoC: every injected packet is delivered exactly once, at its destination
+# ---------------------------------------------------------------------------
+
+noc_traffic = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8),   # src, dst tile
+              st.sampled_from(list(NocChannel)),
+              st.integers(0, 9)),                     # payload flits
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(noc_traffic)
+def test_noc_delivers_every_packet_exactly_once(traffic):
+    sim = Simulator()
+    net = NodeNetwork(sim, "n0", 0, 9)
+    received = []
+    for tile in range(9):
+        for channel in NocChannel:
+            net.register_endpoint(tile, channel,
+                                  lambda p: received.append(p))
+    injected = []
+    for src, dst, channel, flits in traffic:
+        if src == dst:
+            continue
+        packet = Packet(src=TileAddr(0, src), dst=TileAddr(0, dst),
+                        channel=channel, msg_class=MsgClass.PING,
+                        payload_flits=flits)
+        net.inject(packet, src)
+        injected.append(packet)
+    sim.run()
+    assert len(received) == len(injected)
+    assert {p.uid for p in received} == {p.uid for p in injected}
+    for packet in received:
+        assert packet.hops == net.hop_count(packet.src.tile,
+                                            packet.dst.tile)
+
+
+# ---------------------------------------------------------------------------
+# Inter-node bridge: tunnel delivers everything under any credit depth
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=1, max_value=32),      # credits
+       st.lists(st.tuples(st.sampled_from(list(NocChannel)),
+                          st.integers(0, 9)),
+                min_size=1, max_size=50))
+def test_bridge_tunnel_lossless_for_any_credit_depth(credits, batch):
+    sim = Simulator()
+    fabric = PcieFabric(sim, "f", {0: 0, 1: 1})
+    networks, received = [], []
+    for node in (0, 1):
+        net = NodeNetwork(sim, f"n{node}", node, 2)
+        for tile in range(2):
+            for channel in NocChannel:
+                net.register_endpoint(tile, channel,
+                                      lambda p: received.append(p))
+        InterNodeBridge(sim, f"b{node}", node, fabric, net, credits=credits)
+        networks.append(net)
+    for channel, flits in batch:
+        networks[0].inject(
+            Packet(src=TileAddr(0, 0), dst=TileAddr(1, 1), channel=channel,
+                   msg_class=MsgClass.COHERENCE, payload_flits=flits), 0)
+    sim.run()
+    assert len(received) == len(batch)
+    # All packets reached node 1.
+    assert all(p.dst == TileAddr(1, 1) for p in received)
+
+
+# ---------------------------------------------------------------------------
+# AXI alignment
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.integers(min_value=1, max_value=64))
+def test_align_request_window_covers_original(addr, size):
+    aligned_addr, aligned_size, offset = align_request(addr, size)
+    assert aligned_addr % 64 == 0
+    assert aligned_size % 64 == 0
+    assert aligned_addr <= addr
+    assert aligned_addr + aligned_size >= addr + size
+    assert offset == addr - aligned_addr
+    # The window is minimal: shrinking either end would cut the request.
+    assert aligned_size - 64 < (addr % 64) + size
+
+
+# ---------------------------------------------------------------------------
+# IntSort model invariants over its parameter space
+# ---------------------------------------------------------------------------
+
+params_strategy = st.builds(
+    IntSortParams,
+    compute_cycles=st.floats(min_value=10, max_value=200),
+    local_phase_misses=st.floats(min_value=0.2, max_value=3.0),
+    exchange_misses=st.floats(min_value=0.1, max_value=2.0),
+    bridge_service=st.floats(min_value=10, max_value=200),
+    migration_miss_factor=st.floats(min_value=1.0, max_value=1.5),
+)
+
+MACHINE = NumaMachine(n_nodes=4, cores_per_node=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params_strategy, st.sampled_from([3, 6, 12, 24, 48]))
+def test_numa_mode_never_loses(params, threads):
+    on = IntSortModel(MACHINE, numa_on=True, params=params)
+    off = IntSortModel(MACHINE, numa_on=False, params=params)
+    assert on.runtime_cycles(threads) <= off.runtime_cycles(threads) * 1.001
+
+
+@settings(max_examples=40, deadline=None)
+@given(params_strategy, st.booleans())
+def test_more_threads_never_slower(params, numa_on):
+    model = IntSortModel(MACHINE, numa_on=numa_on, params=params)
+    times = [model.runtime_cycles(t) for t in (3, 6, 12, 24, 48)]
+    assert all(times[i] >= times[i + 1] * 0.999
+               for i in range(len(times) - 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(params_strategy)
+def test_fig9_off_mode_direction_holds_for_any_parameters(params):
+    """Non-NUMA mode: spreading 12 threads over more nodes never hurts
+    (data is everywhere anyway; spreading only relieves bridge pressure).
+    This holds for *any* workload constants.  The NUMA-on direction is a
+    property of the calibrated latency-bound regime only — with very heavy
+    exchange traffic, spreading can win even under NUMA (a real effect) —
+    so it is asserted on the defaults in test_workloads.py, not here."""
+    off = IntSortModel(MACHINE, numa_on=False, params=params)
+    off_times = [off.runtime_cycles(12, Taskset.first_nodes(k))
+                 for k in (1, 2, 3, 4)]
+    assert all(off_times[i] >= off_times[i + 1] * 0.999 for i in range(3))
+
+
+# ---------------------------------------------------------------------------
+# GNG sample packing
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=4))
+def test_gng_pack_unpack_roundtrip(samples):
+    from repro.accel import pack_samples
+    packed = pack_samples(samples)
+    assert len(packed) == 2 * len(samples)
+    unpacked = [int.from_bytes(packed[2 * i:2 * i + 2], "little")
+                for i in range(len(samples))]
+    assert unpacked == samples
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=1 << 30))
+def test_gng_streams_deterministic_per_seed(seed):
+    from repro.accel import GaussianNoiseGenerator
+    a = GaussianNoiseGenerator(seed).samples(16)
+    b = GaussianNoiseGenerator(seed).samples(16)
+    assert a == b

@@ -1,0 +1,125 @@
+"""Hardware/software co-verification (paper Sec. 4.3).
+
+Reproduces the paper's debugging story: the original MAPLE RTL latched the
+core ID at kernel start, which hung the whole system once the OS migrated
+the consuming thread to another core.  The bug only surfaced on a
+prototype large enough to migrate across — "their FPGA was small and could
+fit only two Ariane cores", SMAPPIC's 6-tile prototype exposed it.
+"""
+
+import pytest
+
+from repro import build
+from repro.accel import (MODE_STREAM, MapleEngine, REG_COUNT, REG_DATA_BASE,
+                         REG_MODE, REG_POP, REG_START)
+from repro.cpu import TraceCore
+from repro.noc import TileAddr
+
+DATA_BASE = 0x50000
+COUNT = 8
+
+
+def make_system(legacy: bool):
+    """1x1x6 with cores on tiles 0 and 1, MAPLE on tile 2."""
+    proto = build("1x1x6")
+    cores = [TraceCore(proto.sim, f"cpu{t}", proto.tile(0, t),
+                       proto.addrmap) for t in (0, 1)]
+    engine = MapleEngine(proto.sim, "maple", proto.tile(0, 2),
+                         legacy_id_latch=legacy)
+    for i in range(COUNT):
+        proto.load_image(DATA_BASE + 8 * i, (i + 1).to_bytes(8, "little"))
+    mmio = proto.addrmap.mmio_base(TileAddr(0, 2))
+    return proto, cores, engine, mmio
+
+
+def configure_and_pop_half(core, mmio, popped):
+    """First half of the kernel, run on the starting core."""
+    yield core.nc_store(mmio + REG_DATA_BASE,
+                        DATA_BASE.to_bytes(8, "little"))
+    yield core.nc_store(mmio + REG_COUNT, COUNT.to_bytes(8, "little"))
+    yield core.nc_store(mmio + REG_MODE, MODE_STREAM.to_bytes(8, "little"))
+    yield core.nc_store(mmio + REG_START, (1).to_bytes(8, "little"))
+    for _ in range(COUNT // 2):
+        data = yield core.nc_load(mmio + REG_POP, 8)
+        popped.append(int.from_bytes(data, "little"))
+
+
+def pop_rest(core, mmio, popped):
+    """Second half, run after the 'OS migrated the thread' to core 1."""
+    for _ in range(COUNT // 2):
+        data = yield core.nc_load(mmio + REG_POP, 8)
+        popped.append(int.from_bytes(data, "little"))
+
+
+def run_with_migration(legacy: bool):
+    proto, cores, engine, mmio = make_system(legacy)
+    popped: list = []
+    finished = []
+
+    def migrate(_core) -> None:
+        # The scheduler moves the thread: the rest of the kernel continues
+        # on the other core.
+        cores[1].run_program(lambda c: pop_rest(c, mmio, popped),
+                             lambda c: finished.append("second-half"))
+
+    cores[0].run_program(lambda c: configure_and_pop_half(c, mmio, popped),
+                         migrate)
+    proto.run(max_events=500_000)
+    return proto, engine, popped, finished
+
+
+class TestMapleCoreIdBug:
+    def test_fixed_engine_survives_migration(self):
+        proto, engine, popped, finished = run_with_migration(legacy=False)
+        assert finished == ["second-half"]
+        assert popped == list(range(1, COUNT + 1))
+        assert engine.stats.get("dropped_foreign_pops") == 0
+
+    def test_legacy_engine_hangs_after_migration(self):
+        """The paper's symptom: 'the test execution would often hang the
+        whole system' until threads were pinned."""
+        proto, engine, popped, finished = run_with_migration(legacy=True)
+        assert finished == []                      # never completes
+        assert popped == [1, 2, 3, 4]              # first half only
+        assert engine.stats.get("dropped_foreign_pops") >= 1
+        assert proto.sim.pending == 0              # a true hang, not slow
+
+    def test_legacy_engine_fine_when_pinned(self):
+        """And the paper's workaround: pinning the thread avoids the bug."""
+        proto, cores, engine, mmio = make_system(legacy=True)
+        popped: list = []
+        finished = []
+
+        def whole_kernel(c):
+            yield from configure_and_pop_half(c, mmio, popped)
+            yield from pop_rest(c, mmio, popped)
+
+        cores[0].run_program(whole_kernel,
+                             lambda c: finished.append("done"))
+        proto.run()
+        assert finished == ["done"]
+        assert popped == list(range(1, COUNT + 1))
+
+    def test_small_prototype_cannot_reproduce(self):
+        """Why MAPLE's designers never saw it: on a 2-core FPGA (core +
+        engine) there is no second core to migrate to; the detection
+        required SMAPPIC-scale prototypes."""
+        proto = build("1x1x2")
+        core = TraceCore(proto.sim, "cpu", proto.tile(0, 0), proto.addrmap)
+        engine = MapleEngine(proto.sim, "maple", proto.tile(0, 1),
+                             legacy_id_latch=True)
+        for i in range(COUNT):
+            proto.load_image(DATA_BASE + 8 * i,
+                             (i + 1).to_bytes(8, "little"))
+        mmio = proto.addrmap.mmio_base(TileAddr(0, 1))
+        popped: list = []
+        finished = []
+
+        def kernel(c):
+            yield from configure_and_pop_half(c, mmio, popped)
+            yield from pop_rest(c, mmio, popped)
+
+        core.run_program(kernel, lambda c: finished.append("done"))
+        proto.run()
+        assert finished == ["done"]     # the bug stays invisible
+        assert engine.stats.get("dropped_foreign_pops") == 0
