@@ -10,8 +10,10 @@ from repro.analysis import render_table
 from repro.engine import Simulator
 from repro.interconnect import InterNodeBridge, PcieFabric
 from repro.noc import MsgClass, NocChannel, NodeNetwork, Packet, TileAddr
+from repro.parallel import env_jobs, run_tasks
 
 BURST = 120
+CREDIT_SWEEP = (1, 2, 4, 8, 16, 32)
 
 
 def drain_time(credits: int) -> int:
@@ -38,7 +40,8 @@ def drain_time(credits: int) -> int:
 
 
 def run_sweep():
-    return {credits: drain_time(credits) for credits in (1, 2, 4, 8, 16, 32)}
+    times = run_tasks(drain_time, CREDIT_SWEEP, jobs=env_jobs())
+    return dict(zip(CREDIT_SWEEP, times))
 
 
 def test_ablation_bridge_credits(benchmark, report):

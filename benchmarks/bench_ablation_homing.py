@@ -13,6 +13,9 @@ import statistics
 from repro import Prototype, parse_config
 from repro.analysis import render_table
 from repro.cache import load
+from repro.parallel import env_jobs, run_tasks
+
+POLICIES = ("global", "numa")
 
 
 def measure(homing: str) -> float:
@@ -28,7 +31,8 @@ def measure(homing: str) -> float:
 
 
 def run_ablation():
-    return {homing: measure(homing) for homing in ("global", "numa")}
+    means = run_tasks(measure, POLICIES, jobs=env_jobs())
+    return dict(zip(POLICIES, means))
 
 
 def test_ablation_homing(benchmark, report):

@@ -1,13 +1,16 @@
 """Fig. 10: GNG accelerator evaluation — speedup over software."""
 
 from repro.analysis import bar_chart
+from repro.parallel import env_jobs
 from repro.workloads import fig10_speedups
 
 MODES = ("sw", "1", "2", "4")
 
 
 def test_fig10_gng_speedups(benchmark, report):
-    speedups = benchmark.pedantic(fig10_speedups, iterations=1, rounds=1)
+    speedups = benchmark.pedantic(fig10_speedups,
+                                  kwargs={"jobs": env_jobs()},
+                                  iterations=1, rounds=1)
     labels = {"noise_generator": "A: Noise generator",
               "noise_applier": "B: Noise applier"}
     chart = bar_chart(

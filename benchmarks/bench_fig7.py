@@ -10,11 +10,15 @@ import statistics
 
 from repro import build
 from repro.analysis import block_summary, heatmap
+from repro.parallel import env_jobs
 
 
 def measure_matrix():
+    # REPRO_JOBS=N shards the 2304 probes across N workers; the matrix is
+    # bit-identical at every worker count (repro.parallel contract).
     proto = build("4x1x12")
-    return proto.latency_matrix(), proto.config.tiles_per_node
+    return (proto.latency_matrix(jobs=env_jobs()),
+            proto.config.tiles_per_node)
 
 
 def test_fig7_latency_heatmap(benchmark, report):

@@ -1,0 +1,164 @@
+"""Kernel microbenchmark: calendar-queue kernel vs the seed heapq kernel.
+
+Pits the current :class:`repro.engine.Simulator` against a frozen inline
+copy of the seed kernel (allocate-per-event, one heap entry per event,
+lazy cancellation without accounting) on a self-propagating event storm —
+the schedule/dispatch pattern that dominates every simulation in this
+repo.  Writes ``BENCH_kernel.json`` at the repo root so CI and future
+sessions can track kernel throughput.
+
+The storm is deterministic (LCG-derived delays), exercises same-cycle
+ties, short mixed delays, and cancellation pressure, and runs identically
+on both kernels.
+"""
+
+import heapq
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import build
+from repro.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ----------------------------------------------------------------------
+# Frozen seed kernel (verbatim behaviour of the v0 Simulator fast path).
+# ----------------------------------------------------------------------
+
+
+class SeedEvent:
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, priority, seq, callback, args):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other):
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+
+class SeedSimulator:
+    def __init__(self):
+        self.now = 0
+        self._queue = []
+        self._seq = 0
+        self._events_executed = 0
+
+    def schedule(self, delay, callback, *args, priority=0):
+        event = SeedEvent(self.now + int(delay), priority, self._seq,
+                          callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event):
+        event.cancelled = True
+
+    def run(self):
+        executed = 0
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            executed += 1
+        self._events_executed += executed
+        return executed
+
+
+# ----------------------------------------------------------------------
+# The storm workload
+# ----------------------------------------------------------------------
+
+#: Concurrent event chains — a deep pending set (~1k events in flight),
+#: like a 48-tile prototype under load.  Short 0-6 cycle hop delays match
+#: the NoC/link patterns that dominate the real simulations.
+N_CHAINS = 1024
+HOPS_PER_CHAIN = 190
+CANCEL_EVERY = 95
+
+
+def _storm(sim) -> int:
+    """Run the storm on ``sim``; returns events executed."""
+
+    def noop():
+        pass
+
+    def fire(hops, rand):
+        if hops <= 0:
+            return
+        rand = (rand * 1103515245 + 12345) & 0x7FFFFFFF
+        if hops % CANCEL_EVERY == 0:
+            sim.cancel(sim.schedule(rand % 11, noop))
+        sim.schedule(rand % 7, fire, hops - 1, rand)
+
+    for chain in range(N_CHAINS):
+        sim.schedule(chain % 5, fire, HOPS_PER_CHAIN,
+                     (chain * 2654435761) & 0x7FFFFFFF)
+    return sim.run()
+
+
+def _events_per_second(sim_factory, rounds: int = 4) -> float:
+    best = 0.0
+    for _ in range(rounds):
+        sim = sim_factory()
+        start = time.perf_counter()
+        executed = _storm(sim)
+        elapsed = time.perf_counter() - start
+        best = max(best, executed / elapsed)
+    return best
+
+
+def _fig7_seconds(jobs) -> float:
+    start = time.perf_counter()
+    build("4x1x12").latency_matrix(jobs=jobs)
+    return time.perf_counter() - start
+
+
+def test_kernel_throughput(benchmark, report):
+    seed_eps = _events_per_second(SeedSimulator)
+    new_eps = benchmark.pedantic(_events_per_second, args=(Simulator,),
+                                 iterations=1, rounds=1)
+    speedup = new_eps / seed_eps
+
+    cpus = os.cpu_count() or 1
+    fig7_serial = _fig7_seconds(jobs=1)
+    fig7_parallel = _fig7_seconds(jobs=0) if cpus >= 2 else fig7_serial
+
+    results = {
+        "storm_events": N_CHAINS * (HOPS_PER_CHAIN + 1),
+        "seed_kernel_events_per_sec": round(seed_eps),
+        "new_kernel_events_per_sec": round(new_eps),
+        "kernel_speedup": round(speedup, 2),
+        "fig7_serial_seconds": round(fig7_serial, 3),
+        "fig7_parallel_seconds": round(fig7_parallel, 3),
+        "fig7_parallel_jobs": cpus,
+        "cpu_count": cpus,
+    }
+    (REPO_ROOT / "BENCH_kernel.json").write_text(
+        json.dumps(results, indent=2) + "\n")
+
+    report("kernel_throughput", "\n".join([
+        f"seed kernel: {seed_eps:,.0f} events/s",
+        f"new kernel:  {new_eps:,.0f} events/s  ({speedup:.2f}x)",
+        f"fig7 matrix: {fig7_serial:.2f}s serial, "
+        f"{fig7_parallel:.2f}s with jobs={cpus}",
+    ]))
+
+    # Tentpole acceptance: the calendar-queue kernel is >= 3x the seed
+    # kernel on the storm.
+    assert speedup >= 3.0, f"kernel speedup {speedup:.2f}x < 3x"
+    # Parallel acceptance only holds where there are cores to use.
+    if cpus >= 4:
+        assert fig7_serial / fig7_parallel >= 2.0, (
+            f"fig7 parallel gain {fig7_serial / fig7_parallel:.2f}x < 2x "
+            f"on a {cpus}-core host")

@@ -25,6 +25,7 @@ from .cost import FIG13_TOOLS, benchmark_costs, suite_costs
 from .errors import ReproError
 from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
                    estimate_build, max_tiles_per_fpga)
+from .parallel import probe_rows, run_tasks
 
 
 def cmd_describe(args) -> int:
@@ -53,17 +54,24 @@ def cmd_describe(args) -> int:
     return 0
 
 
+def _sweep_point(task) -> Optional[List]:
+    """Worker for one BxC grid point of ``sweep`` (module-level: picklable)."""
+    nodes, tiles, core = task
+    try:
+        report = estimate(nodes, tiles, core)
+    except ReproError:
+        return None
+    return [f"{nodes}x{tiles}", nodes * tiles,
+            f"{report.utilization:.0%}",
+            f"{report.frequency_mhz:.0f} MHz"]
+
+
 def cmd_sweep(args) -> int:
-    rows: List[List] = []
-    for nodes in range(1, DRAM_INTERFACES_PER_FPGA + 1):
-        for tiles in range(1, max_tiles_per_fpga(args.core) + 1):
-            try:
-                report = estimate(nodes, tiles, args.core)
-            except ReproError:
-                continue
-            rows.append([f"{nodes}x{tiles}", nodes * tiles,
-                         f"{report.utilization:.0%}",
-                         f"{report.frequency_mhz:.0f} MHz"])
+    grid = [(nodes, tiles, args.core)
+            for nodes in range(1, DRAM_INTERFACES_PER_FPGA + 1)
+            for tiles in range(1, max_tiles_per_fpga(args.core) + 1)]
+    rows = [row for row in run_tasks(_sweep_point, grid, jobs=args.jobs)
+            if row is not None]
     print(render_table(
         ["config (BxC)", "tiles/FPGA", "LUTs", "frequency"], rows,
         title=f"configurations that fit one FPGA ({args.core} tiles)"))
@@ -71,18 +79,32 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_latency(args) -> int:
-    proto = build(args.config)
-    total = proto.config.total_tiles
-    tiles_per_node = proto.config.tiles_per_node
+    config = parse_config(args.config)
+    total = config.total_tiles
+    tiles_per_node = config.tiles_per_node
+    senders = list(range(0, total, max(1, total // 6)))
     intra, inter = [], []
-    for sender in range(0, total, max(1, total // 6)):
-        for receiver in range(total):
-            if sender == receiver:
-                continue
-            latency = proto.measure_pair_latency(sender, receiver)
-            same_node = (sender // tiles_per_node
-                         == receiver // tiles_per_node)
-            (intra if same_node else inter).append(latency)
+    if args.jobs is not None:
+        # Sharded engine: one fresh prototype per sender row, results
+        # identical at any worker count.
+        rows = probe_rows(config, senders, jobs=args.jobs)
+        for sender, row in zip(senders, rows):
+            for receiver, latency in enumerate(row):
+                if sender == receiver:
+                    continue
+                same_node = (sender // tiles_per_node
+                             == receiver // tiles_per_node)
+                (intra if same_node else inter).append(latency)
+    else:
+        proto = build(args.config)
+        for sender in senders:
+            for receiver in range(total):
+                if sender == receiver:
+                    continue
+                latency = proto.measure_pair_latency(sender, receiver)
+                same_node = (sender // tiles_per_node
+                             == receiver // tiles_per_node)
+                (intra if same_node else inter).append(latency)
     rows = [["intra-node", f"{statistics.mean(intra):.0f}",
              min(intra), max(intra)]]
     if inter:
@@ -133,11 +155,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep = subparsers.add_parser(
         "sweep", help="every BxC configuration that fits one FPGA")
     sweep.add_argument("--core", default="ariane")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU)")
     sweep.set_defaults(func=cmd_sweep)
 
     latency = subparsers.add_parser(
         "latency", help="measure core-to-core latencies (Fig. 7 style)")
     latency.add_argument("config")
+    latency.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes for the sharded probe "
+                              "engine (0 = one per CPU; omit for the "
+                              "legacy in-place scan)")
     latency.set_defaults(func=cmd_latency)
 
     hello = subparsers.add_parser(

@@ -183,20 +183,33 @@ class Prototype:
         _, cycles = self.mem_access(src.addr.node, src.addr.tile, load(addr))
         return cycles
 
-    def latency_matrix(self, probes_per_pair: int = 1) -> List[List[int]]:
-        """Full Fig. 7 heatmap: total_tiles x total_tiles round trips."""
-        size = self.config.total_tiles
-        matrix = [[0] * size for _ in range(size)]
-        probe = 0
-        for sender in range(size):
-            for receiver in range(size):
-                samples = []
-                for _ in range(probes_per_pair):
-                    samples.append(
-                        self.measure_pair_latency(sender, receiver, probe))
-                    probe += 1
-                matrix[sender][receiver] = sum(samples) // len(samples)
-        return matrix
+    def latency_matrix(self, probes_per_pair: int = 1,
+                       jobs: Optional[int] = None) -> List[List[int]]:
+        """Full Fig. 7 heatmap: total_tiles x total_tiles round trips.
+
+        With ``jobs=None`` every probe runs in-place on this prototype
+        (the legacy serial scan).  Any other value routes through the
+        sharded engine in :mod:`repro.parallel`, which measures fixed
+        sender-row shards on fresh prototypes — serially for ``jobs=1``,
+        across a process pool for ``jobs>1``, one worker per CPU for
+        ``jobs=0`` — with bit-identical results at every worker count.
+        """
+        if jobs is None:
+            size = self.config.total_tiles
+            matrix = [[0] * size for _ in range(size)]
+            probe = 0
+            for sender in range(size):
+                for receiver in range(size):
+                    samples = []
+                    for _ in range(probes_per_pair):
+                        samples.append(
+                            self.measure_pair_latency(sender, receiver, probe))
+                        probe += 1
+                    matrix[sender][receiver] = sum(samples) // len(samples)
+            return matrix
+        from ..parallel import sharded_latency_matrix
+        return sharded_latency_matrix(self.config, probes_per_pair,
+                                      jobs=jobs)
 
     # ------------------------------------------------------------------
     # Reporting

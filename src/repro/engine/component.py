@@ -22,6 +22,10 @@ class Component:
         self.sim = sim
         self.name = name
         self.stats = StatGroup(name)
+        # Bind the simulator's schedule directly: component hot paths call
+        # self.schedule per message, and the instance attribute skips the
+        # passthrough frame below.
+        self.schedule = sim.schedule
 
     @property
     def now(self) -> int:

@@ -25,10 +25,17 @@ Sink = Callable[[object], None]
 
 
 class Link(Component):
-    """A serializing, latency-imposing connection to a sink callback."""
+    """A serializing, latency-imposing connection to a sink callback.
+
+    ``sink_args`` are appended to every delivery — the sink is called as
+    ``sink(message, *sink_args)`` — so endpoints can receive routing
+    context (e.g. arrival direction and channel) without a per-link
+    closure wrapping the handler.
+    """
 
     def __init__(self, sim: Simulator, name: str, sink: Sink,
-                 latency: int = 1, cycles_per_unit: float = 1.0):
+                 latency: int = 1, cycles_per_unit: float = 1.0,
+                 sink_args: tuple = ()):
         super().__init__(sim, name)
         if latency < 0:
             raise ConfigError(f"{name}: negative latency {latency}")
@@ -36,6 +43,7 @@ class Link(Component):
             raise ConfigError(
                 f"{name}: negative cycles_per_unit {cycles_per_unit}")
         self.sink = sink
+        self.sink_args = sink_args
         self.latency = latency
         self.cycles_per_unit = cycles_per_unit
         self._free_at = 0
@@ -47,14 +55,18 @@ class Link(Component):
         starting no earlier than the link becomes free, then arrives
         ``latency`` cycles later.
         """
-        depart = max(self.now, self._free_at)
+        sim = self.sim
+        now = sim.now
+        free_at = self._free_at
+        depart = now if free_at < now else free_at
         serialization = int(round(units * self.cycles_per_unit))
         self._free_at = depart + max(serialization, 1 if units else 0)
         arrival = depart + serialization + self.latency
-        self.sim.schedule_at(arrival, self.sink, message)
-        self.stats.inc("messages")
-        self.stats.inc("units", units)
-        self.stats.observe("queueing", depart - self.now)
+        sim.schedule(arrival - now, self.sink, message, *self.sink_args)
+        stats = self.stats
+        stats.inc("messages")
+        stats.inc("units", units)
+        stats.observe("queueing", depart - now)
         return arrival
 
     @property
@@ -66,5 +78,7 @@ class Link(Component):
 class InstantLink(Link):
     """A zero-latency, infinite-bandwidth link (for intra-module wiring)."""
 
-    def __init__(self, sim: Simulator, name: str, sink: Sink):
-        super().__init__(sim, name, sink, latency=0, cycles_per_unit=0.0)
+    def __init__(self, sim: Simulator, name: str, sink: Sink,
+                 sink_args: tuple = ()):
+        super().__init__(sim, name, sink, latency=0, cycles_per_unit=0.0,
+                         sink_args=sink_args)

@@ -6,30 +6,62 @@ messages instead of being clocked every cycle.  Time is measured in *cycles*
 of the prototype clock (100 MHz by default, matching Table 2 of the paper);
 sub-cycle resolution is never needed.
 
-The kernel is deliberately small: an event is a ``(time, priority, seq)``
-ordered callback.  Determinism is guaranteed by the monotonically increasing
-sequence number, so two runs with the same seed produce identical traces.
+Determinism is guaranteed by the monotonically increasing sequence number,
+so two runs with the same seed produce identical traces.
+
+Kernel fast path
+----------------
+
+The queue is a *calendar queue*: a dict of per-timestamp buckets plus a
+small binary heap of the distinct timestamps themselves.  Scheduling is a
+dict lookup and a list append; only the first event at a new timestamp
+pays a heap push, and the heap compares plain ints in C.  This replaces
+the classic one-heap-entry-per-event design, whose per-event ``heappush``
+/ ``heappop`` sifting through a deep heap dominated the kernel profile.
+
+:class:`Event` objects are recycled through a free list — a simulation
+executing millions of events allocates only as many ``Event`` objects as
+its peak queue depth.  Cancelled events are dropped lazily when their
+bucket drains, but the accounting is eager, so :attr:`Simulator.pending`
+is O(1), and the calendar is compacted outright when cancelled events
+outnumber live ones — mass cancellation can neither leak memory nor slow
+the queue.  Draining a bucket is a same-cycle batch: every event at one
+timestamp runs in a tight inner loop with no heap traffic and no
+time-advance bookkeeping.
+
+Components never pass ``priority``; buckets are therefore already in
+execution order (events append in sequence order).  The first non-default
+priority at a timestamp marks that bucket for a single deterministic
+``(priority, seq)`` sort at drain time, so the fast path stays unsorted.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+
+#: Compact the calendar only once this many cancelled events have piled up
+#: (below that the lazy drain-time sweep is cheaper than a rebuild).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
     """A scheduled callback.
 
-    Events are comparable by ``(time, priority, seq)``; callers should treat
-    them as opaque handles usable only for :meth:`Simulator.cancel`.
+    Callers should treat events as opaque handles usable only for
+    :meth:`Simulator.cancel`.  A handle is valid until the event fires or
+    its cancellation is collected; after that the kernel recycles the
+    object for a future scheduling, so holding a handle past execution and
+    cancelling it later is unsupported (it would cancel whichever event
+    currently occupies the recycled slot).
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time: int, priority: int, seq: int,
-                 callback: Callable[..., None], args: tuple):
+                 callback: Optional[Callable[..., None]], args: tuple):
         self.time = time
         self.priority = priority
         self.seq = seq
@@ -38,8 +70,8 @@ class Event:
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time, other.priority, other.seq)
+        # Only used to sort a bucket whose events share one timestamp.
+        return (self.priority, self.seq) < (other.priority, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Event(t={self.time}, prio={self.priority}, "
@@ -62,10 +94,16 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[Event] = []
+        self._buckets: dict = {}     # time -> list[Event], in (priority, seq) order
+        self._times: list = []       # min-heap of the distinct bucket times
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
+        self._free: list = []        # recycled Event objects
+        self._npending: int = 0      # live (non-cancelled) queued events
+        self._ncancelled: int = 0    # cancelled events still in buckets
+        self._unsorted: set = set()  # bucket times holding non-default priorities
+        self._draining: Optional[int] = None  # bucket owned by the run loop
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -78,11 +116,33 @@ class Simulator:
         timestamps (lower runs first); within equal priority, insertion
         order wins, which keeps the simulation deterministic.
         """
+        if type(delay) is not int:
+            delay = int(delay)
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        event = Event(self.now + int(delay), priority, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, priority, seq, callback, args)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heappush(self._times, time)
+        else:
+            bucket.append(event)
+        if priority:
+            self._unsorted.add(time)
+        self._npending += 1
         return event
 
     def schedule_at(self, time: int, callback: Callable[..., None],
@@ -94,8 +154,43 @@ class Simulator:
         return self.schedule(time - self.now, callback, *args, priority=priority)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
+        """Cancel a previously scheduled event.
+
+        Removal is lazy (the event is dropped when its bucket drains), but
+        the accounting is immediate, and the calendar is compacted outright
+        when cancelled events outnumber live ones.
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._npending -= 1
+        self._ncancelled += 1
+        if (self._ncancelled >= _COMPACT_MIN_CANCELLED
+                and self._ncancelled > self._npending):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Strip cancelled events out of every bucket, recycling them.
+
+        Buckets are filtered in place.  The bucket currently being drained
+        by the run loop is skipped: the loop walks it by index, and already
+        -executed (recycled) events stay in that list until it completes.
+        """
+        free = self._free
+        draining = self._draining
+        removed = 0
+        for time, bucket in self._buckets.items():
+            if time == draining:
+                continue
+            live = [event for event in bucket if not event.cancelled]
+            if len(live) != len(bucket):
+                removed += len(bucket) - len(live)
+                for event in bucket:
+                    if event.cancelled:
+                        event.cancelled = False
+                        free.append(event)
+                bucket[:] = live
+        self._ncancelled -= removed
 
     # ------------------------------------------------------------------
     # Execution
@@ -111,28 +206,117 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        executed = 0
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                heapq.heappop(self._queue)
-                if event.time < self.now:
-                    raise SimulationError("event queue went backwards in time")
-                self.now = event.time
-                event.callback(*event.args)
-                executed += 1
+            if until is None and max_events is None:
+                executed = self._run_unbounded()
+            else:
+                executed = self._run_bounded(until, max_events)
         finally:
             self._running = False
+            self._draining = None
         if until is not None and self.now < until:
             self.now = until
         self._events_executed += executed
+        return executed
+
+    def _run_unbounded(self) -> int:
+        """Tight drain loop for the common ``run()`` (no bounds) case."""
+        executed = 0
+        buckets = self._buckets
+        times = self._times
+        free = self._free
+        unsorted_times = self._unsorted
+        while times:
+            time = times[0]
+            if time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            bucket = buckets[time]
+            self.now = time
+            self._draining = time
+            # Same-cycle batch drain: every event at this timestamp runs
+            # with no heap traffic.  Callbacks may append to this very
+            # bucket (zero-delay scheduling); the index walk picks the new
+            # events up in order.
+            i = 0
+            try:
+                while i < len(bucket):
+                    if unsorted_times and time in unsorted_times:
+                        tail = bucket[i:]
+                        tail.sort()
+                        bucket[i:] = tail
+                        unsorted_times.discard(time)
+                    event = bucket[i]
+                    i += 1
+                    if event.cancelled:
+                        self._ncancelled -= 1
+                        event.cancelled = False
+                        free.append(event)
+                        continue
+                    self._npending -= 1
+                    callback = event.callback
+                    args = event.args
+                    free.append(event)
+                    callback(*args)
+                    executed += 1
+            except BaseException:
+                # A callback raised: drop the consumed prefix so a later
+                # run() cannot re-execute recycled events.
+                del bucket[:i]
+                raise
+            del buckets[time]
+            heappop(times)
+            self._draining = None
+        return executed
+
+    def _run_bounded(self, until: Optional[int],
+                     max_events: Optional[int]) -> int:
+        """Drain loop honouring ``until`` / ``max_events`` bounds."""
+        executed = 0
+        buckets = self._buckets
+        times = self._times
+        free = self._free
+        unsorted_times = self._unsorted
+        while times:
+            time = times[0]
+            if until is not None and time > until:
+                break
+            if time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            bucket = buckets[time]
+            self._draining = time
+            i = 0
+            try:
+                while i < len(bucket):
+                    if max_events is not None and executed >= max_events:
+                        # Keep the undrained tail for the next run() call.
+                        del bucket[:i]
+                        self._draining = None
+                        return executed
+                    if unsorted_times and time in unsorted_times:
+                        tail = bucket[i:]
+                        tail.sort()
+                        bucket[i:] = tail
+                        unsorted_times.discard(time)
+                    event = bucket[i]
+                    i += 1
+                    if event.cancelled:
+                        self._ncancelled -= 1
+                        event.cancelled = False
+                        free.append(event)
+                        continue
+                    self.now = time
+                    self._npending -= 1
+                    callback = event.callback
+                    args = event.args
+                    free.append(event)
+                    callback(*args)
+                    executed += 1
+            except BaseException:
+                del bucket[:i]
+                raise
+            del buckets[time]
+            heappop(times)
+            self._draining = None
         return executed
 
     def step(self) -> bool:
@@ -141,8 +325,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._npending
 
     @property
     def events_executed(self) -> int:

@@ -6,7 +6,6 @@ numbers — fast to update and trivial to serialize into benchmark reports.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -14,14 +13,22 @@ class Histogram:
     """An exact histogram over integer samples (latencies, sizes)."""
 
     def __init__(self) -> None:
-        self._counts: Dict[int, int] = defaultdict(int)
+        self._counts: Dict[int, int] = {}
         self._total = 0
         self._sum = 0
         self._min: Optional[int] = None
         self._max: Optional[int] = None
+        # Sorted bucket values, rebuilt lazily: reporting loops call
+        # percentile() repeatedly and must not re-sort per call.
+        self._sorted: Optional[List[int]] = None
 
     def add(self, value: int, count: int = 1) -> None:
-        self._counts[value] += count
+        counts = self._counts
+        if value in counts:
+            counts[value] += count
+        else:
+            counts[value] = count
+            self._sorted = None
         self._total += count
         self._sum += value * count
         if self._min is None or value < self._min:
@@ -45,20 +52,28 @@ class Histogram:
     def max(self) -> Optional[int]:
         return self._max
 
+    def _sorted_values(self) -> List[int]:
+        values = self._sorted
+        if values is None:
+            values = self._sorted = sorted(self._counts)
+        return values
+
     def percentile(self, p: float) -> Optional[int]:
         """Exact percentile ``p`` in [0, 100] over recorded samples."""
         if not self._total:
             return None
         target = max(1, round(self._total * p / 100.0))
         seen = 0
-        for value in sorted(self._counts):
-            seen += self._counts[value]
+        counts = self._counts
+        for value in self._sorted_values():
+            seen += counts[value]
             if seen >= target:
                 return value
         return self._max
 
     def items(self) -> Iterable[Tuple[int, int]]:
-        return sorted(self._counts.items())
+        counts = self._counts
+        return [(value, counts[value]) for value in self._sorted_values()]
 
 
 class StatGroup:
@@ -71,11 +86,15 @@ class StatGroup:
 
     def __init__(self, name: str):
         self.name = name
-        self.counters: Dict[str, int] = defaultdict(int)
+        self.counters: Dict[str, int] = {}
         self.histograms: Dict[str, Histogram] = {}
 
     def inc(self, key: str, amount: int = 1) -> None:
-        self.counters[key] += amount
+        counters = self.counters
+        if key in counters:
+            counters[key] += amount
+        else:
+            counters[key] = amount
 
     def get(self, key: str) -> int:
         return self.counters.get(key, 0)
@@ -103,8 +122,11 @@ class StatGroup:
 
 def merge_stat_groups(groups: Iterable[StatGroup]) -> Dict[str, float]:
     """Sum counters across many components (e.g. all routers in a mesh)."""
-    merged: Dict[str, float] = defaultdict(float)
+    merged: Dict[str, float] = {}
     for group in groups:
         for key, value in group.counters.items():
-            merged[key] += value
-    return dict(merged)
+            if key in merged:
+                merged[key] += value
+            else:
+                merged[key] = value
+    return merged

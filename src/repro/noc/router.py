@@ -21,6 +21,9 @@ from ..errors import ProtocolError, SimulationError
 from .packet import CHIPSET, NocChannel, Packet, TileAddr
 from .topology import Direction, Mesh, OPPOSITE
 
+_LOCAL = Direction.LOCAL
+_OFFCHIP = Direction.OFFCHIP
+
 #: A port is identified by outgoing direction and NoC channel.
 PortKey = Tuple[Direction, NocChannel]
 
@@ -57,6 +60,10 @@ class Router(Component):
         self._neighbors: Dict[Direction, "Router"] = {}
         self._local_handlers: Dict[NocChannel, EndpointHandler] = {}
         self._offchip_handler: Optional[EndpointHandler] = None
+        # Precomputed XY route row: _steps[dest] is the next hop from this
+        # tile; _step_to_zero is the hop toward the off-chip eject tile.
+        self._steps = mesh.step_table[tile]
+        self._step_to_zero = self._steps[0]
 
     # ------------------------------------------------------------------
     # Wiring (done once at network construction)
@@ -66,10 +73,13 @@ class Router(Component):
         self._neighbors[direction] = other
         back = OPPOSITE[direction]
         for channel in NocChannel:
-            sink = _make_receive_sink(other, back, channel)
+            # The sink is the neighbor's bound receive method; the link
+            # appends (direction, channel) on delivery, so no per-link
+            # closure is needed.
             link = Link(self.sim, f"{self.name}.{direction.value}.{channel.name}",
-                        sink, latency=self.link_latency,
-                        cycles_per_unit=self.cycles_per_flit)
+                        other.receive, latency=self.link_latency,
+                        cycles_per_unit=self.cycles_per_flit,
+                        sink_args=(back, channel))
             self._ports[(direction, channel)] = _OutputPort(link, self.credit_count)
 
     def connect_local(self, channel: NocChannel,
@@ -93,24 +103,24 @@ class Router(Component):
     def inject(self, packet: Packet) -> None:
         """Entry point for packets born at this tile (or arriving off-chip)."""
         self.stats.inc("injected")
-        self.schedule(self.hop_latency, self._route, packet, None)
+        self.sim.schedule(self.hop_latency, self._route, packet, None)
 
     def receive(self, packet: Packet, from_direction: Direction,
                 channel: NocChannel) -> None:
         """A packet arrived over the link from ``from_direction``."""
         self.stats.inc("received")
         packet.hops += 1
-        self.schedule(self.hop_latency, self._route, packet, from_direction)
+        self.sim.schedule(self.hop_latency, self._route, packet, from_direction)
 
     def _route(self, packet: Packet, from_direction: Optional[Direction]) -> None:
         # Forwarding frees the upstream buffer slot: return the credit.
         if from_direction is not None:
             upstream = self._neighbors.get(from_direction)
             if upstream is not None:
-                self.schedule(1, upstream._credit_arrive,
-                              (OPPOSITE[from_direction], packet.channel))
+                self.sim.schedule(1, upstream._credit_arrive,
+                                  (OPPOSITE[from_direction], packet.channel))
         direction = self._decide(packet)
-        if direction == Direction.LOCAL:
+        if direction is _LOCAL:
             handler = self._local_handlers.get(packet.channel)
             if handler is None:
                 raise ProtocolError(
@@ -119,7 +129,7 @@ class Router(Component):
             self.stats.inc("ejected")
             handler(packet)
             return
-        if direction == Direction.OFFCHIP:
+        if direction is _OFFCHIP:
             if self._offchip_handler is None:
                 raise ProtocolError(
                     f"{self.name}: packet {packet} needs off-chip port")
@@ -131,12 +141,11 @@ class Router(Component):
     def _decide(self, packet: Packet) -> Direction:
         """Routing decision: XY within the node; tile 0 + OFFCHIP beyond it."""
         dst = packet.dst
-        leaving = dst.node != self.node_id or dst.is_chipset()
-        if leaving:
+        if dst.node != self.node_id or dst.tile == CHIPSET:
             if self.tile == 0:
-                return Direction.OFFCHIP
-            return self.mesh.route_step(self.tile, 0)
-        return self.mesh.route_step(self.tile, dst.tile)
+                return _OFFCHIP
+            return self._step_to_zero
+        return self._steps[dst.tile]
 
     def _send(self, packet: Packet, direction: Direction) -> None:
         port = self._ports.get((direction, packet.channel))
@@ -164,10 +173,3 @@ class Router(Component):
             if port.credits > port.max_credits:
                 raise ProtocolError(
                     f"{self.name}: credit overflow on {key}")
-
-
-def _make_receive_sink(router: Router, from_direction: Direction,
-                       channel: NocChannel) -> Callable[[Packet], None]:
-    def sink(packet: Packet) -> None:
-        router.receive(packet, from_direction, channel)
-    return sink

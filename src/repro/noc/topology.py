@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 from typing import Iterator, List, Tuple
 
 from ..errors import ConfigError
@@ -107,6 +108,16 @@ class Mesh:
         if hy > dy:
             return Direction.NORTH
         return Direction.LOCAL
+
+    @cached_property
+    def step_table(self) -> List[List[Direction]]:
+        """``step_table[here][dest]`` = :meth:`route_step` for every pair.
+
+        Routers index this table on the per-packet path instead of redoing
+        the coordinate arithmetic per hop.
+        """
+        return [[self.route_step(here, dest) for dest in range(self.n_tiles)]
+                for here in range(self.n_tiles)]
 
     def hop_count(self, a: int, b: int) -> int:
         """Manhattan distance between tiles ``a`` and ``b``."""

@@ -1,0 +1,28 @@
+"""Deterministic parallel execution of independent simulations.
+
+Every large SMAPPIC artifact is embarrassingly parallel at the granularity
+of whole simulations: the Fig. 7 heatmap is 2304 independent coherence
+probes, the GNG grid is benchmark x mode cells, the ablations sweep
+configuration points.  This package shards such work across a process
+pool with a hard determinism contract: results are **bit-identical to
+serial execution at any worker count**, because sharding (which
+simulations share state) is fixed independently of ``jobs``, every task
+derives its random seed from the root seed and its own identity, and the
+merge preserves task order.
+
+``run_tasks`` is the generic engine; :mod:`repro.parallel.probes` shards
+the latency-probe workloads on top of it.
+"""
+
+from .probes import probe_rows, sharded_latency_matrix
+from .runner import env_jobs, fixed_shards, resolve_jobs, run_tasks, task_seed
+
+__all__ = [
+    "env_jobs",
+    "fixed_shards",
+    "probe_rows",
+    "resolve_jobs",
+    "run_tasks",
+    "sharded_latency_matrix",
+    "task_seed",
+]

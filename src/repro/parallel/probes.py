@@ -1,0 +1,89 @@
+"""Sharded latency probes: the parallel Fig. 7 machinery.
+
+The full heatmap on a 4x1x12 prototype is 2304 independent coherence
+probes.  Probes are sharded by sender row in fixed groups of
+:data:`ROWS_PER_SHARD`; each shard builds a fresh prototype in its worker
+and measures its rows on it.  Because shard composition and per-probe
+addresses depend only on the configuration — never on the worker count —
+``sharded_latency_matrix(config, jobs=4)`` is bit-identical to
+``jobs=1``.
+
+(The shard size does shape the result slightly: rows within one shard
+share a prototype, exactly like consecutive rows of the legacy serial
+scan.  It is therefore part of the experiment definition, not a tuning
+knob to vary per run.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .runner import fixed_shards, run_tasks
+
+#: Sender rows measured per worker task.  Amortizes the prototype build
+#: (~1/3 of a row's probe time) while leaving enough shards to load
+#: several workers on the paper's 48-tile configuration.
+ROWS_PER_SHARD = 4
+
+#: A shard task: (config, sender rows, probes per pair).
+ShardTask = Tuple[object, Tuple[int, ...], int]
+
+
+def _measure_rows(task: ShardTask) -> List[List[int]]:
+    """Worker: build a fresh prototype and measure full receiver rows."""
+    # Imported here: repro.core imports this package for its --jobs path.
+    from ..core.prototype import Prototype
+
+    config, senders, probes_per_pair = task
+    proto = Prototype(config)
+    size = config.total_tiles
+    rows = []
+    for sender in senders:
+        row = []
+        for receiver in range(size):
+            # Same probe numbering as the serial scan: unique per sample,
+            # regardless of sharding.
+            base = (sender * size + receiver) * probes_per_pair
+            samples = [
+                proto.measure_pair_latency(sender, receiver, base + k)
+                for k in range(probes_per_pair)
+            ]
+            row.append(sum(samples) // len(samples))
+        rows.append(row)
+    return rows
+
+
+def _shard_tasks(config, senders: Sequence[int], probes_per_pair: int,
+                 rows_per_shard: int) -> List[ShardTask]:
+    return [(config, tuple(shard), probes_per_pair)
+            for shard in fixed_shards(list(senders), rows_per_shard)]
+
+
+def sharded_latency_matrix(config, probes_per_pair: int = 1,
+                           jobs: Optional[int] = 1,
+                           rows_per_shard: int = ROWS_PER_SHARD,
+                           ) -> List[List[int]]:
+    """The Fig. 7 heatmap, sharded across ``jobs`` workers.
+
+    Output is identical for every ``jobs`` value (including serial
+    ``jobs=1``); see the module docstring for why.
+    """
+    size = config.total_tiles
+    tasks = _shard_tasks(config, range(size), probes_per_pair,
+                         rows_per_shard)
+    shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    return [row for rows in shard_rows for row in rows]
+
+
+def probe_rows(config, senders: Sequence[int], probes_per_pair: int = 1,
+               jobs: Optional[int] = 1,
+               rows_per_shard: int = 1) -> List[List[int]]:
+    """Full receiver rows for selected ``senders`` (CLI ``latency``).
+
+    Each sender gets its own fresh prototype by default
+    (``rows_per_shard=1``), so the row set — unlike the full matrix scan —
+    is independent of which senders were requested together.
+    """
+    tasks = _shard_tasks(config, senders, probes_per_pair, rows_per_shard)
+    shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    return [row for rows in shard_rows for row in rows]

@@ -20,7 +20,7 @@ Fig. 10 plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..accel.gng import (FETCH1, FETCH2, FETCH4, GaussianNoiseGenerator,
                          GngAccelerator, SW_CYCLES_PER_SAMPLE, pack_samples)
@@ -138,13 +138,40 @@ class GngBenchmark:
                             samples=collected)
 
 
-def fig10_speedups(n_samples: int = 512, seed: int = 11) -> Dict[str, Dict[str, float]]:
-    """Both benchmarks, all four modes; speedups relative to software."""
+_BENCHMARKS = ("noise_generator", "noise_applier")
+
+
+def _gng_cell(task) -> GngRunResult:
+    """Worker for one Fig. 10 grid cell (module-level: picklable).
+
+    Each cell builds its own fresh 1x1x2 system, so cells are independent
+    and the grid parallelizes without changing any result.
+    """
+    label, mode, n_samples, seed = task
     bench = GngBenchmark(n_samples=n_samples, seed=seed)
+    runner = (bench.run_generator if label == "noise_generator"
+              else bench.run_applier)
+    return runner(mode)
+
+
+def fig10_speedups(n_samples: int = 512, seed: int = 11,
+                   jobs: Optional[int] = 1) -> Dict[str, Dict[str, float]]:
+    """Both benchmarks, all four modes; speedups relative to software.
+
+    The eight benchmark x mode cells are independent simulations, so they
+    run through :func:`repro.parallel.run_tasks` — serial for ``jobs=1``,
+    sharded across a pool otherwise, identical output either way.
+    """
+    from ..parallel import run_tasks
+
+    grid = [(label, mode, n_samples, seed)
+            for label in _BENCHMARKS for mode in MODES]
+    cells = run_tasks(_gng_cell, grid, jobs=jobs)
     out: Dict[str, Dict[str, float]] = {}
-    for label, runner in (("noise_generator", bench.run_generator),
-                          ("noise_applier", bench.run_applier)):
-        results = {mode: runner(mode) for mode in MODES}
+    for label in _BENCHMARKS:
+        results = {result.mode: result
+                   for (cell_label, *_), result in zip(grid, cells)
+                   if cell_label == label}
         baseline = results["sw"].cycles
         # Functional check: every mode produced the identical sample stream.
         reference = results["sw"].samples

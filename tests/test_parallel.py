@@ -1,0 +1,108 @@
+"""Tests for repro.parallel: bit-identical serial/parallel execution."""
+
+import pytest
+
+from repro import build, parse_config
+from repro.errors import ConfigError
+from repro.parallel import (env_jobs, fixed_shards, probe_rows, resolve_jobs,
+                            run_tasks, sharded_latency_matrix, task_seed)
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise ValueError(f"task {value} failed")
+
+
+class TestRunner:
+    def test_serial_matches_parallel(self):
+        tasks = list(range(23))
+        assert (run_tasks(_square, tasks, jobs=1)
+                == run_tasks(_square, tasks, jobs=4))
+
+    def test_order_preserved_with_many_chunks(self):
+        tasks = list(range(50))
+        assert run_tasks(_square, tasks, jobs=3, chunksize=1) == \
+            [t * t for t in tasks]
+
+    def test_empty_and_single_task(self):
+        assert run_tasks(_square, [], jobs=4) == []
+        assert run_tasks(_square, [7], jobs=4) == [49]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            run_tasks(_boom, [1], jobs=1)
+        with pytest.raises(ValueError):
+            run_tasks(_boom, [1, 2, 3], jobs=2)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+    def test_env_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert env_jobs() == 1
+        assert env_jobs(default=4) == 4
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert env_jobs() == 8
+
+    def test_fixed_shards(self):
+        assert fixed_shards([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert fixed_shards([], 3) == []
+        with pytest.raises(ConfigError):
+            fixed_shards([1], 0)
+
+    def test_task_seed_stable_and_distinct(self):
+        assert task_seed(11, "probe", 3) == task_seed(11, "probe", 3)
+        seeds = {task_seed(11, "probe", i) for i in range(32)}
+        assert len(seeds) == 32
+        assert task_seed(11, "probe", 0) != task_seed(12, "probe", 0)
+        assert task_seed(11, "probe", 0) != task_seed(11, "other", 0)
+
+
+class TestShardedProbes:
+    def test_matrix_identical_serial_vs_parallel(self):
+        config = parse_config("1x2x2")
+        serial = sharded_latency_matrix(config, jobs=1)
+        parallel = sharded_latency_matrix(config, jobs=4)
+        assert serial == parallel
+
+    def test_matrix_identical_via_prototype_api(self):
+        proto = build("1x2x2")
+        assert proto.latency_matrix(jobs=1) == proto.latency_matrix(jobs=4)
+
+    def test_shard_size_part_of_experiment(self):
+        # rows_per_shard defines which probes share a prototype; any jobs
+        # value leaves it alone, so results never depend on worker count.
+        config = parse_config("1x2x2")
+        one = sharded_latency_matrix(config, jobs=1, rows_per_shard=2)
+        two = sharded_latency_matrix(config, jobs=2, rows_per_shard=2)
+        assert one == two
+
+    def test_probe_rows_match_matrix_diagonal_blocks(self):
+        config = parse_config("1x2x2")
+        rows = probe_rows(config, [0, 2], jobs=2)
+        assert len(rows) == 2
+        assert all(len(row) == config.total_tiles for row in rows)
+        # A row measured alone equals the same row measured in a batch.
+        assert probe_rows(config, [0], jobs=1)[0] == rows[0]
+
+
+class TestCliJobs:
+    def test_sweep_jobs(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--jobs", "2"]) == 0
+        assert "configurations that fit" in capsys.readouterr().out
+
+    def test_latency_jobs_matches_legacy(self, capsys):
+        from repro.cli import main
+        assert main(["latency", "1x2x2", "--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert main(["latency", "1x2x2"]) == 0
+        legacy = capsys.readouterr().out
+        assert sharded == legacy
