@@ -5,15 +5,15 @@ the cycle-level 4x1x12 prototype, then fed into the phase-level IS model
 (the documented substitution for hours of full-Linux execution).
 """
 
-from repro import build
 from repro.analysis import line_series
-from repro.osmodel import machine_from_prototype
-from repro.workloads import fig8_series
+from repro.core.config import parse_config
+from repro.parallel import env_jobs, sharded_fig8_series
 
 
 def compute_fig8():
-    machine = machine_from_prototype(build("4x1x12"))
-    return machine, fig8_series(machine)
+    # REPRO_JOBS=N shards the sweep one task per thread count; the result
+    # is bit-identical to the serial run (see repro.parallel.osmodel).
+    return sharded_fig8_series(parse_config("4x1x12"), jobs=env_jobs())
 
 
 def test_fig8_numa_scaling(benchmark, report):

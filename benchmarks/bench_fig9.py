@@ -1,14 +1,16 @@
 """Fig. 9: thread-allocation study — 12 IS threads pinned to 1-4 nodes."""
 
-from repro import build
 from repro.analysis import line_series
-from repro.osmodel import machine_from_prototype
-from repro.workloads import fig9_series
+from repro.core.config import parse_config
+from repro.parallel import env_jobs, sharded_fig9_series
 
 
 def compute_fig9():
-    machine = machine_from_prototype(build("4x1x12"))
-    return fig9_series(machine)
+    # REPRO_JOBS=N shards the sweep one task per node count; the result
+    # is bit-identical to the serial run (see repro.parallel.osmodel).
+    _machine, series = sharded_fig9_series(parse_config("4x1x12"),
+                                           jobs=env_jobs())
+    return series
 
 
 def test_fig9_thread_allocation(benchmark, report):

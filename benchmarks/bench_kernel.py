@@ -1,15 +1,24 @@
-"""Kernel microbenchmark: calendar-queue kernel vs the seed heapq kernel.
+"""Kernel microbenchmark: typed fast path vs generic vs the seed kernel.
 
-Pits the current :class:`repro.engine.Simulator` against a frozen inline
-copy of the seed kernel (allocate-per-event, one heap entry per event,
-lazy cancellation without accounting) on a self-propagating event storm —
-the schedule/dispatch pattern that dominates every simulation in this
-repo.  Writes ``BENCH_kernel.json`` at the repo root so CI and future
-sessions can track kernel throughput.
+Pits the current :class:`repro.engine.Simulator` — on both its generic
+``schedule()`` path and the :class:`~repro.engine.ConstLatencyChannel`
+typed fast path — against a frozen inline copy of the seed kernel
+(allocate-per-event, one heap entry per event, lazy cancellation without
+accounting) on a self-propagating event storm: the schedule/dispatch
+pattern that dominates every simulation in this repo.  Writes
+``BENCH_kernel.json`` at the repo root so CI and future sessions can
+track kernel throughput.
 
 The storm is deterministic (LCG-derived delays), exercises same-cycle
-ties, short mixed delays, and cancellation pressure, and runs identically
-on both kernels.
+ties, short mixed delays, and cancellation pressure.  The channel storm
+is additionally run on ``Simulator(fast_path=False)`` (every send routed
+through the generic scheduler) and the two execution traces are compared
+bit-for-bit, as are the serial and parallel Fig. 7 matrices.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by the per-push CI gate) runs
+only the fast-path storm plus the determinism checks and fails if
+throughput regresses more than 30% against the committed
+``BENCH_kernel.json`` baseline; it never rewrites the baseline.
 """
 
 import heapq
@@ -18,10 +27,17 @@ import os
 import time
 from pathlib import Path
 
-from repro import build
+from repro.core.config import parse_config
+from repro.core.prototype import Prototype
 from repro.engine import Simulator
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: The schedule-storm number shipped by the calendar-queue PR, kept for
+#: context in the report (the committed JSON is the regression baseline).
+PR1_EVENTS_PER_SEC = 1_080_528
 
 # ----------------------------------------------------------------------
 # Frozen seed kernel (verbatim behaviour of the v0 Simulator fast path).
@@ -76,7 +92,7 @@ class SeedSimulator:
 
 
 # ----------------------------------------------------------------------
-# The storm workload
+# The storm workloads
 # ----------------------------------------------------------------------
 
 #: Concurrent event chains — a deep pending set (~1k events in flight),
@@ -88,7 +104,7 @@ CANCEL_EVERY = 95
 
 
 def _storm(sim) -> int:
-    """Run the storm on ``sim``; returns events executed."""
+    """Generic-path storm on ``sim``; returns events executed."""
 
     def noop():
         pass
@@ -107,39 +123,137 @@ def _storm(sim) -> int:
     return sim.run()
 
 
-def _events_per_second(sim_factory, rounds: int = 4) -> float:
+class _Chain:
+    """Mutable single-payload state riding the typed channels."""
+
+    __slots__ = ("hops", "rand")
+
+    def __init__(self, hops, rand):
+        self.hops = hops
+        self.rand = rand
+
+
+def _channel_storm(sim, trace=None) -> int:
+    """The same storm shape expressed as ConstLatencyChannel sends.
+
+    With ``trace`` (a list), every hop appends ``(now, rand)`` so two runs
+    can be compared bit-for-bit.
+    """
+
+    def noop(payload):
+        pass
+
+    def fire(chain):
+        hops = chain.hops
+        if hops <= 0:
+            return
+        rand = (chain.rand * 1103515245 + 12345) & 0x7FFFFFFF
+        if trace is not None:
+            trace.append((sim.now, rand))
+        if hops % CANCEL_EVERY == 0:
+            sim.cancel(cancel_lanes[rand % 11].send(0))
+        chain.hops = hops - 1
+        chain.rand = rand
+        lanes[rand % 7].send(chain)
+
+    lanes = [sim.channel(delay, fire) for delay in range(7)]
+    cancel_lanes = [sim.channel(delay, noop) for delay in range(11)]
+    starters = [sim.channel(delay, fire) for delay in range(5)]
+    for chain in range(N_CHAINS):
+        starters[chain % 5].send(
+            _Chain(HOPS_PER_CHAIN, (chain * 2654435761) & 0x7FFFFFFF))
+    return sim.run()
+
+
+def _events_per_second(sim_factory, storm, rounds: int = 4) -> float:
     best = 0.0
     for _ in range(rounds):
         sim = sim_factory()
         start = time.perf_counter()
-        executed = _storm(sim)
+        executed = storm(sim)
         elapsed = time.perf_counter() - start
         best = max(best, executed / elapsed)
     return best
 
 
-def _fig7_seconds(jobs) -> float:
+def _fast_path_trace_identical() -> bool:
+    """Channel storm on fast_path=True vs False: bit-identical traces."""
+    fast_trace, generic_trace = [], []
+    n_fast = _channel_storm(Simulator(fast_path=True), trace=fast_trace)
+    n_generic = _channel_storm(Simulator(fast_path=False),
+                               trace=generic_trace)
+    return n_fast == n_generic and fast_trace == generic_trace
+
+
+def _fig7_matrix(jobs, fast_path=True):
+    proto = Prototype(parse_config("4x1x12"), fast_path=fast_path)
     start = time.perf_counter()
-    build("4x1x12").latency_matrix(jobs=jobs)
-    return time.perf_counter() - start
+    matrix = proto.latency_matrix(jobs=jobs)
+    return time.perf_counter() - start, matrix
 
 
 def test_kernel_throughput(benchmark, report):
-    seed_eps = _events_per_second(SeedSimulator)
-    new_eps = benchmark.pedantic(_events_per_second, args=(Simulator,),
-                                 iterations=1, rounds=1)
-    speedup = new_eps / seed_eps
+    if SMOKE:
+        # Per-push CI gate: fast-path throughput within 30% of the
+        # committed baseline, plus the bit-identity checks.  Never
+        # rewrites BENCH_kernel.json.
+        baseline = json.loads((REPO_ROOT / "BENCH_kernel.json").read_text())
+        eps = benchmark.pedantic(
+            _events_per_second, args=(Simulator, _channel_storm),
+            kwargs={"rounds": 2}, iterations=1, rounds=1)
+        assert _fast_path_trace_identical(), \
+            "fast-path trace differs from generic-path trace"
+        floor = 0.7 * baseline["new_kernel_events_per_sec"]
+        report("kernel_throughput", "\n".join([
+            f"smoke: fast path {eps:,.0f} events/s "
+            f"(baseline {baseline['new_kernel_events_per_sec']:,}, "
+            f"floor {floor:,.0f})",
+        ]))
+        assert eps >= floor, (
+            f"fast-path storm {eps:,.0f} ev/s regressed >30% vs committed "
+            f"baseline {baseline['new_kernel_events_per_sec']:,} ev/s")
+        return
+
+    # Interleave the three kernels round by round so load spikes hit all
+    # of them evenly and best-of stays a fair comparison.
+    seed_eps = generic_eps = channel_eps = 0.0
+    for _ in range(4):
+        seed_eps = max(seed_eps,
+                       _events_per_second(SeedSimulator, _storm, rounds=1))
+        generic_eps = max(generic_eps,
+                          _events_per_second(Simulator, _storm, rounds=1))
+        channel_eps = max(channel_eps, _events_per_second(
+            Simulator, _channel_storm, rounds=1))
+    benchmark.pedantic(_events_per_second,
+                       args=(Simulator, _channel_storm),
+                       kwargs={"rounds": 1}, iterations=1, rounds=1)
+    speedup = generic_eps / seed_eps
+    fast_gain = channel_eps / generic_eps
+
+    assert _fast_path_trace_identical(), \
+        "fast-path trace differs from generic-path trace"
 
     cpus = os.cpu_count() or 1
-    fig7_serial = _fig7_seconds(jobs=1)
-    fig7_parallel = _fig7_seconds(jobs=0) if cpus >= 2 else fig7_serial
+    fig7_fast, matrix_fast = _fig7_matrix(jobs=1)
+    fig7_generic, matrix_generic = _fig7_matrix(jobs=1, fast_path=False)
+    assert matrix_fast == matrix_generic, \
+        "fig7 matrix differs between fast path and generic path"
+    if cpus >= 2:
+        fig7_parallel, matrix_parallel = _fig7_matrix(jobs=0)
+        assert matrix_parallel == matrix_fast, \
+            "fig7 matrix differs between serial and parallel runs"
+    else:
+        fig7_parallel = fig7_fast
 
     results = {
         "storm_events": N_CHAINS * (HOPS_PER_CHAIN + 1),
         "seed_kernel_events_per_sec": round(seed_eps),
-        "new_kernel_events_per_sec": round(new_eps),
-        "kernel_speedup": round(speedup, 2),
-        "fig7_serial_seconds": round(fig7_serial, 3),
+        "generic_kernel_events_per_sec": round(generic_eps),
+        "new_kernel_events_per_sec": round(channel_eps),
+        "kernel_speedup": round(channel_eps / seed_eps, 2),
+        "fast_path_vs_generic": round(fast_gain, 2),
+        "fig7_serial_seconds": round(fig7_fast, 3),
+        "fig7_generic_path_seconds": round(fig7_generic, 3),
         "fig7_parallel_seconds": round(fig7_parallel, 3),
         "fig7_parallel_jobs": cpus,
         "cpu_count": cpus,
@@ -148,17 +262,22 @@ def test_kernel_throughput(benchmark, report):
         json.dumps(results, indent=2) + "\n")
 
     report("kernel_throughput", "\n".join([
-        f"seed kernel: {seed_eps:,.0f} events/s",
-        f"new kernel:  {new_eps:,.0f} events/s  ({speedup:.2f}x)",
-        f"fig7 matrix: {fig7_serial:.2f}s serial, "
-        f"{fig7_parallel:.2f}s with jobs={cpus}",
+        f"seed kernel:  {seed_eps:,.0f} events/s",
+        f"generic path: {generic_eps:,.0f} events/s  ({speedup:.2f}x seed)",
+        f"typed fast path: {channel_eps:,.0f} events/s  "
+        f"({fast_gain:.2f}x generic, "
+        f"{channel_eps / PR1_EVENTS_PER_SEC:.2f}x the PR 1 number)",
+        f"fig7 matrix: {fig7_fast:.2f}s fast path, {fig7_generic:.2f}s "
+        f"generic path, {fig7_parallel:.2f}s with jobs={cpus}",
     ]))
 
     # Tentpole acceptance: the calendar-queue kernel is >= 3x the seed
-    # kernel on the storm.
+    # kernel on the storm, and the typed fast path beats the generic path.
     assert speedup >= 3.0, f"kernel speedup {speedup:.2f}x < 3x"
+    assert fast_gain >= 1.05, \
+        f"typed fast path only {fast_gain:.2f}x the generic path"
     # Parallel acceptance only holds where there are cores to use.
     if cpus >= 4:
-        assert fig7_serial / fig7_parallel >= 2.0, (
-            f"fig7 parallel gain {fig7_serial / fig7_parallel:.2f}x < 2x "
+        assert fig7_fast / fig7_parallel >= 2.0, (
+            f"fig7 parallel gain {fig7_fast / fig7_parallel:.2f}x < 2x "
             f"on a {cpus}-core host")

@@ -55,14 +55,14 @@ class AxiPort(Component):
             raise ProtocolError(f"{self.name}: duplicate write uid {txn.uid}")
         self._write_waiters[txn.uid] = on_resp
         self.stats.inc("writes")
-        self._req_link.send(("w", txn), units=1 + txn.beats)
+        self._req_link.send(txn, units=1 + txn.beats)
 
     def read(self, txn: AxiRead, on_resp: ReadCallback) -> None:
         if txn.uid in self._read_waiters:
             raise ProtocolError(f"{self.name}: duplicate read uid {txn.uid}")
         self._read_waiters[txn.uid] = on_resp
         self.stats.inc("reads")
-        self._req_link.send(("r", txn), units=1)
+        self._req_link.send(txn, units=1)
 
     @property
     def outstanding(self) -> int:
@@ -71,9 +71,10 @@ class AxiPort(Component):
     # ------------------------------------------------------------------
     # Transport internals
     # ------------------------------------------------------------------
-    def _deliver_request(self, item) -> None:
-        kind, txn = item
-        if kind == "w":
+    def _deliver_request(self, txn) -> None:
+        # Transactions travel bare on the link (single-payload fast path);
+        # the message class itself is the write/read discriminator.
+        if isinstance(txn, AxiWrite):
             self.slave.axi_write(
                 txn, lambda resp, uid=txn.uid: self._send_write_resp(uid, resp))
         else:
@@ -82,15 +83,15 @@ class AxiPort(Component):
 
     def _send_write_resp(self, uid: int, resp: AxiWriteResp) -> None:
         resp.uid = uid
-        self._resp_link.send(("w", resp), units=1)
+        self._resp_link.send(resp, units=1)
 
     def _send_read_resp(self, uid: int, resp: AxiReadResp) -> None:
         resp.uid = uid
-        self._resp_link.send(("r", resp), units=resp.beats)
+        self._resp_link.send(resp, units=resp.beats)
 
-    def _deliver_response(self, item) -> None:
-        kind, resp = item
-        waiters = self._write_waiters if kind == "w" else self._read_waiters
+    def _deliver_response(self, resp) -> None:
+        waiters = (self._write_waiters if isinstance(resp, AxiWriteResp)
+                   else self._read_waiters)
         callback = waiters.pop(resp.uid, None)
         if callback is None:
             raise ProtocolError(

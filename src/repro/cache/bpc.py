@@ -19,7 +19,7 @@ Race rules (the home LLC serializes per line, which keeps these few):
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..engine import Component, Simulator
 from ..errors import ProtocolError
@@ -55,7 +55,7 @@ class _Mshr:
 
     def __init__(self, line: int, issued_at: int):
         self.line = line
-        self.deferred: deque = deque()  # (MemOp, OpCallback)
+        self.deferred: deque = deque()  # MemOps awaiting the fill
         self.issued_at = issued_at
 
 
@@ -77,6 +77,12 @@ class Bpc(Component):
         self._backlog: deque = deque()           # ops stalled on MSHR pressure
         self._evicting: Dict[int, List] = {}     # line -> ops waiting for WbAck
         self._l1_invalidate: Optional[Callable[[int], None]] = None
+        # Pipeline fast lanes: the array access latency and the zero-delay
+        # replay of ops unblocked by a WbAck / freed MSHR.  The op carries
+        # its completion callback (``op.on_done``), so both are
+        # single-payload sends.
+        self._lookup_lane = sim.channel(hit_latency, self._lookup)
+        self._replay_lane = sim.channel(0, self._lookup)
 
     def set_l1_invalidate(self, callback: Callable[[int], None]) -> None:
         """L1 shootdown hook: called with a line address on Inv/eviction."""
@@ -90,40 +96,41 @@ class Bpc(Component):
         if not op.cacheable:
             raise ProtocolError(f"{self.name}: non-cacheable op sent to BPC")
         op.issued_at = self.now
-        self.schedule(self.hit_latency, self._lookup, op, on_done)
+        op.on_done = on_done
+        self._lookup_lane.send(op)
 
-    def _lookup(self, op: MemOp, on_done: OpCallback) -> None:
+    def _lookup(self, op: MemOp) -> None:
         line = line_of(op.addr)
         mshr = self._mshrs.get(line)
         if mshr is not None:
-            mshr.deferred.append((op, on_done))
+            mshr.deferred.append(op)
             return
         if line in self._evicting:
-            self._evicting[line].append((op, on_done))
+            self._evicting[line].append(op)
             return
         entry = self.array.lookup(line)
         if entry is None:
             self.stats.inc("misses")
-            self._start_miss(op, on_done)
+            self._start_miss(op)
             return
         payload: _Line = entry.payload
         if op.kind is OpKind.LOAD:
             self.stats.inc("load_hits")
-            self._finish(op, on_done, bytes(self._window(payload, op)))
+            self._finish(op, bytes(self._window(payload, op)))
         elif payload.state == "M":
             if op.kind is OpKind.AMO:
                 self.stats.inc("amo_hits")
                 old_bytes = bytes(self._window(payload, op))
                 self._apply_amo(payload, op, old_bytes)
-                self._finish(op, on_done, old_bytes)
+                self._finish(op, old_bytes)
             else:
                 self.stats.inc("store_hits")
                 self._write(payload, op)
-                self._finish(op, on_done, None)
+                self._finish(op, None)
         else:
             # Store/AMO to an S line: upgrade (entry stays until Inv/DataM).
             self.stats.inc("upgrades")
-            self._start_miss(op, on_done, upgrade=True)
+            self._start_miss(op, upgrade=True)
 
     def _window(self, payload: _Line, op: MemOp) -> bytearray:
         offset = op.addr % LINE_BYTES
@@ -141,23 +148,23 @@ class Bpc(Component):
         payload.data[offset:offset + op.size] = \
             new_value.to_bytes(op.size, "little")
 
-    def _finish(self, op: MemOp, on_done: OpCallback,
-                result: Optional[bytes]) -> None:
+    def _finish(self, op: MemOp, result: Optional[bytes]) -> None:
         self.stats.observe("op_latency", self.now - op.issued_at)
+        on_done = op.on_done
+        op.on_done = None
         on_done(result)
 
     # ------------------------------------------------------------------
     # Miss path
     # ------------------------------------------------------------------
-    def _start_miss(self, op: MemOp, on_done: OpCallback,
-                    upgrade: bool = False) -> None:
+    def _start_miss(self, op: MemOp, upgrade: bool = False) -> None:
         line = line_of(op.addr)
         if len(self._mshrs) >= self.max_mshrs:
-            self._backlog.append((op, on_done))
+            self._backlog.append(op)
             self.stats.inc("mshr_stalls")
             return
         mshr = _Mshr(line, self.now)
-        mshr.deferred.append((op, on_done))
+        mshr.deferred.append(op)
         self._mshrs[line] = mshr
         if not upgrade:
             self._make_room(line)
@@ -215,8 +222,8 @@ class Bpc(Component):
         # waiting ops *before* any queued probe is serviced, or a racing
         # Inv could steal the line before use and livelock the requester.
         # (A deferred store after an S fill still re-misses as an upgrade.)
-        for op, on_done in mshr.deferred:
-            self._lookup(op, on_done)
+        for op in mshr.deferred:
+            self._lookup(op)
         self._drain_backlog()
 
     def _wb_acked(self, line: int) -> None:
@@ -224,8 +231,8 @@ class Bpc(Component):
         if waiters is None:
             raise ProtocolError(f"{self.name}: WbAck for line {line:#x} "
                                 "not being written back")
-        for op, on_done in waiters:
-            self.schedule(0, self._lookup, op, on_done)
+        for op in waiters:
+            self._replay_lane.send(op)
 
     def _invalidate(self, line: int) -> None:
         if line in self._evicting:
@@ -264,8 +271,7 @@ class Bpc(Component):
 
     def _drain_backlog(self) -> None:
         while self._backlog and len(self._mshrs) < self.max_mshrs:
-            op, on_done = self._backlog.popleft()
-            self.schedule(0, self._lookup, op, on_done)
+            self._replay_lane.send(self._backlog.popleft())
 
     # ------------------------------------------------------------------
     # Introspection (tests, invariant checks)

@@ -85,6 +85,10 @@ class LlcSlice(Component):
         self._queued: Dict[int, deque] = {}
         self._mem_reads: Dict[int, Callable[[bytes], None]] = {}
         self._mem_writes: Dict[int, Callable[[], None]] = {}
+        # Pipeline fast lanes: the slice access latency and the zero-delay
+        # redispatch of a request queued behind a completed transaction.
+        self._dispatch_lane = sim.channel(access_latency, self._dispatch)
+        self._redispatch_lane = sim.channel(0, self._dispatch)
 
     # ------------------------------------------------------------------
     # NoC entry points
@@ -92,7 +96,7 @@ class LlcSlice(Component):
     def handle_request(self, msg: CoherenceMsg) -> None:
         """GetS/GetM/PutM from the REQ/WB networks, and transaction
         responses (InvAck/DowngradeData) from the WB network."""
-        self.schedule(self.access_latency, self._dispatch, msg)
+        self._dispatch_lane.send(msg)
 
     def handle_mem_resp(self, resp) -> None:
         """MemReadResp / MemWriteAck from the chipset memory controller."""
@@ -389,7 +393,7 @@ class LlcSlice(Component):
             msg = queue.popleft()
             if not queue:
                 del self._queued[txn.line]
-            self.schedule(0, self._dispatch, msg)
+            self._redispatch_lane.send(msg)
         for hook in txn.on_complete:
             self.schedule(0, hook)
 

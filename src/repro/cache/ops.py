@@ -49,6 +49,10 @@ class MemOp:
     amo_op: str = ""
     uid: int = field(default_factory=lambda: next(_op_ids))
     issued_at: int = 0
+    #: Completion callback, attached by the private cache while the op is
+    #: in flight — lets the op itself ride the kernel's single-payload
+    #: fast path instead of an (op, callback) tuple.
+    on_done: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -31,9 +31,12 @@ from .tile import Tile
 class Prototype:
     """A fully built SMAPPIC system."""
 
-    def __init__(self, config: PrototypeConfig):
+    def __init__(self, config: PrototypeConfig, fast_path: bool = True):
         self.config = config
-        self.sim = Simulator()
+        # fast_path=False routes every constant-latency hop through the
+        # generic scheduler — slower, but lets tests assert the typed fast
+        # path is bit-identical (see tests/test_determinism.py).
+        self.sim = Simulator(fast_path=fast_path)
         self.addrmap = AddressMap(config.n_nodes, config.dram_bytes_per_node)
         self.homing = self._build_homing(config)
         self.fabric: Optional[PcieFabric] = None

@@ -3,12 +3,14 @@
 from .component import Component
 from .link import InstantLink, Link
 from .rng import derive_seed, derived_rng
-from .simulator import Event, Simulator
+from .simulator import ConstLatencyChannel, Event, EventHandle, Simulator
 from .stats import Histogram, StatGroup, merge_stat_groups
 
 __all__ = [
     "Component",
+    "ConstLatencyChannel",
     "Event",
+    "EventHandle",
     "Histogram",
     "InstantLink",
     "Link",

@@ -47,6 +47,15 @@ class Link(Component):
         self.latency = latency
         self.cycles_per_unit = cycles_per_unit
         self._free_at = 0
+        # Deliveries ride the typed fast path: the sink is fixed at
+        # construction, only the arrival delay varies (queueing +
+        # serialization), so every send is a single-payload send_after.
+        if sink_args:
+            def deliver(message: object, _sink=sink, _args=sink_args) -> None:
+                _sink(message, *_args)
+            self._channel = sim.channel(latency, deliver)
+        else:
+            self._channel = sim.channel(latency, sink)
 
     def send(self, message: object, units: int = 1) -> int:
         """Transmit ``message`` of the given size; returns arrival time.
@@ -62,7 +71,7 @@ class Link(Component):
         serialization = int(round(units * self.cycles_per_unit))
         self._free_at = depart + max(serialization, 1 if units else 0)
         arrival = depart + serialization + self.latency
-        sim.schedule(arrival - now, self.sink, message, *self.sink_args)
+        self._channel.send_after(arrival - now, message)
         stats = self.stats
         stats.inc("messages")
         stats.inc("units", units)

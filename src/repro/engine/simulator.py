@@ -6,9 +6,6 @@ messages instead of being clocked every cycle.  Time is measured in *cycles*
 of the prototype clock (100 MHz by default, matching Table 2 of the paper);
 sub-cycle resolution is never needed.
 
-Determinism is guaranteed by the monotonically increasing sequence number,
-so two runs with the same seed produce identical traces.
-
 Kernel fast path
 ----------------
 
@@ -19,32 +16,77 @@ pays a heap push, and the heap compares plain ints in C.  This replaces
 the classic one-heap-entry-per-event design, whose per-event ``heappush``
 / ``heappop`` sifting through a deep heap dominated the kernel profile.
 
+Determinism needs no per-event sequence number: a bucket holds the events
+of exactly one timestamp in insertion order, which *is* global scheduling
+order, and the rare priority sort (below) is stable.  Two runs of the same
+model therefore produce identical traces.
+
 :class:`Event` objects are recycled through a free list — a simulation
 executing millions of events allocates only as many ``Event`` objects as
 its peak queue depth.  Cancelled events are dropped lazily when their
-bucket drains, but the accounting is eager, so :attr:`Simulator.pending`
-is O(1), and the calendar is compacted outright when cancelled events
-outnumber live ones — mass cancellation can neither leak memory nor slow
-the queue.  Draining a bucket is a same-cycle batch: every event at one
-timestamp runs in a tight inner loop with no heap traffic and no
-time-advance bookkeeping.
+bucket drains; :attr:`Simulator.pending` is derived from the bucket sizes
+(O(distinct timestamps), exact between runs) so the hot enqueue and drain
+paths carry no accounting at all.  The calendar is compacted outright
+when cancelled events outnumber live ones — mass cancellation can
+neither leak memory nor slow the queue.
+
+Typed fast path (ConstLatencyChannel)
+-------------------------------------
+
+Almost every hot event in the model is a *constant-latency hop*: a link
+delivery, a router pipeline stage, a cache access latency, an AXI beat.
+These always schedule ``sink(payload)`` at ``now + delay`` for a fixed
+``(delay, sink)`` pair, so the generic :meth:`Simulator.schedule` —
+``*args`` packing, priority handling, per-call bucket lookup — is pure
+overhead for them.  :meth:`Simulator.channel` returns a
+:class:`ConstLatencyChannel` pre-bound to the pair; :meth:`~
+ConstLatencyChannel.send` enqueues a pooled single-payload event with no
+tuple packing and caches its ``(time, bucket)`` so same-cycle bursts skip
+even the dict lookup.  :meth:`~ConstLatencyChannel.send_after` serves
+links whose arrival varies with serialization but whose sink is fixed.
+
+Both paths append into the *same* calendar buckets, so generic and
+channel events at one timestamp fire in exactly the order the schedule
+calls were made — the interleaving is bit-identical to routing everything
+through ``schedule()`` (``Simulator(fast_path=False)`` does precisely
+that, and the determinism tests assert equality).
 
 Components never pass ``priority``; buckets are therefore already in
-execution order (events append in sequence order).  The first non-default
-priority at a timestamp marks that bucket for a single deterministic
-``(priority, seq)`` sort at drain time, so the fast path stays unsorted.
+execution order.  The first non-default priority at a timestamp marks
+that bucket for a single deterministic *stable* sort by priority at drain
+time — stability preserves insertion order inside each priority level, so
+the fast path stays unsorted and the sorted path matches the historical
+``(priority, seq)`` order.
+
+Debug mode
+----------
+
+An :class:`Event` handle is only valid until the event fires or its
+cancellation is collected; afterwards the kernel recycles the object, and
+cancelling a stale handle would silently cancel whichever event now
+occupies the slot.  ``Simulator(debug=True)`` catches this: every pooled
+event carries a generation counter, schedule/send return an
+:class:`EventHandle` pinning the generation, and :meth:`Simulator.cancel`
+raises :class:`~repro.errors.SimulationError` on a stale handle instead
+of corrupting the pool.  Debug mode costs a few percent, so it is off by
+default.
 """
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional, Union
 
 from ..errors import SimulationError
 
 #: Compact the calendar only once this many cancelled events have piled up
 #: (below that the lazy drain-time sweep is cheaper than a rebuild).
 _COMPACT_MIN_CANCELLED = 64
+
+#: Sentinel payload marking an event scheduled through the generic path
+#: (dispatched as ``callback(*args)``); any other payload dispatches as
+#: ``callback(payload)``.
+_GENERIC = object()
 
 
 class Event:
@@ -55,27 +97,209 @@ class Event:
     its cancellation is collected; after that the kernel recycles the
     object for a future scheduling, so holding a handle past execution and
     cancelling it later is unsupported (it would cancel whichever event
-    currently occupies the recycled slot).
+    currently occupies the recycled slot) — ``Simulator(debug=True)``
+    turns exactly that mistake into a raised :class:`SimulationError`.
+
+    ``time`` is informational (kept accurate on the generic path, not
+    rewritten by the channel fast path); the calendar itself orders events
+    by bucket, never by this field.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "callback", "args", "payload",
+                 "cancelled", "generation")
 
-    def __init__(self, time: int, priority: int, seq: int,
+    def __init__(self, time: int, priority: int,
                  callback: Optional[Callable[..., None]], args: tuple):
         self.time = time
         self.priority = priority
-        self.seq = seq
         self.callback = callback
         self.args = args
+        self.payload = _GENERIC
         self.cancelled = False
+        self.generation = 0
 
     def __lt__(self, other: "Event") -> bool:
-        # Only used to sort a bucket whose events share one timestamp.
-        return (self.priority, self.seq) < (other.priority, other.seq)
+        # Only used by the *stable* sort of a bucket whose events share one
+        # timestamp: comparing priority alone keeps insertion order within
+        # a priority level, reproducing the historical (priority, seq)
+        # order without storing a sequence number.
+        return self.priority < other.priority
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Event(t={self.time}, prio={self.priority}, "
                 f"cb={getattr(self.callback, '__qualname__', self.callback)})")
+
+
+class EventHandle:
+    """Generation-pinned handle returned by ``Simulator(debug=True)``.
+
+    Passing it to :meth:`Simulator.cancel` after the underlying event has
+    fired (and possibly been recycled) raises instead of corrupting the
+    event pool.
+    """
+
+    __slots__ = ("event", "generation")
+
+    def __init__(self, event: Event, generation: int):
+        self.event = event
+        self.generation = generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle(gen={self.generation}, event={self.event!r})"
+
+
+class ConstLatencyChannel:
+    """Typed fast path for a fixed ``(delay, sink)`` scheduling pair.
+
+    :meth:`send` enqueues ``sink(payload)`` at ``now + delay`` in O(1):
+    no ``*args`` tuple, no priority handling, and — thanks to the cached
+    ``(time, bucket)`` lane — usually no dict lookup either.  Use it for
+    every hop whose latency is a structural constant (link deliveries,
+    router pipeline stages, cache access latencies, AXI beats); keep the
+    generic :meth:`Simulator.schedule` for everything else.
+
+    Ordering contract: channel sends land in the same calendar buckets as
+    generic events, in call order, so mixing the two paths at one
+    timestamp fires callbacks in exactly the order the ``send()`` /
+    ``schedule()`` calls were made.
+
+    Obtain instances via :meth:`Simulator.channel`, which substitutes the
+    generic reference implementation under ``fast_path=False`` and the
+    handle-returning variant under ``debug=True``.
+    """
+
+    __slots__ = ("_sim", "delay", "sink", "_time", "_bucket_append",
+                 "_free", "_buckets", "_times")
+
+    def __init__(self, sim: "Simulator", delay: int,
+                 sink: Callable[[Any], None]):
+        if type(delay) is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"channel delay must be >= 0, got {delay}")
+        self._sim = sim
+        self.delay = delay
+        self.sink = sink
+        # Cached (time, bucket.append) lane.  Only buckets strictly in
+        # the future are ever cached, and `now` can only reach a bucket's
+        # time while that bucket is live (the run loop deletes it before
+        # advancing, and compaction filters it in place, preserving list
+        # identity), so a cache hit is always an append into a
+        # not-yet-drained bucket.
+        self._time = -1
+        self._bucket_append: Optional[Callable[[Event], None]] = None
+        # The simulator's containers are created once in __init__ and
+        # never rebound; holding them directly saves a hop per send.
+        self._free = sim._free
+        self._buckets = sim._buckets
+        self._times = sim._times
+
+    def send(self, payload: Any) -> Event:
+        """Enqueue ``sink(payload)`` at ``now + delay``; returns the event."""
+        t = self._sim.now + self.delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.callback = self.sink
+            # `args` is left stale on purpose: it is only ever read when
+            # payload is _GENERIC, and the generic schedule() always
+            # rewrites it.
+            event.payload = payload
+        else:
+            event = Event(t, 0, self.sink, ())
+            event.payload = payload
+        if t == self._time:
+            self._bucket_append(event)
+            return event
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            bucket = buckets[t] = [event]
+            heappush(self._times, t)
+        else:
+            bucket.append(event)
+        if self.delay:
+            # Zero-delay channels never cache: their target bucket is the
+            # one currently draining, which dies before `now` moves on.
+            self._time = t
+            self._bucket_append = bucket.append
+        return event
+
+    def send_after(self, delay: int, payload: Any) -> Event:
+        """Like :meth:`send` but with a per-call delay (serializing links
+        whose arrival time varies while the sink stays fixed)."""
+        sim = self._sim
+        if type(delay) is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule in the past: delay={delay}")
+        t = sim.now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.callback = self.sink
+            event.payload = payload
+        else:
+            event = Event(t, 0, self.sink, ())
+            event.payload = payload
+        if delay and t == self._time:
+            self._bucket_append(event)
+            return event
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            bucket = buckets[t] = [event]
+            heappush(self._times, t)
+        else:
+            bucket.append(event)
+        if delay:
+            self._time = t
+            self._bucket_append = bucket.append
+        return event
+
+
+class _DebugChannel(ConstLatencyChannel):
+    """Channel variant for ``debug=True``: returns generation-pinned
+    :class:`EventHandle` objects instead of raw events."""
+
+    __slots__ = ()
+
+    def send(self, payload: Any) -> EventHandle:
+        event = ConstLatencyChannel.send(self, payload)
+        return EventHandle(event, event.generation)
+
+    def send_after(self, delay: int, payload: Any) -> EventHandle:
+        event = ConstLatencyChannel.send_after(self, delay, payload)
+        return EventHandle(event, event.generation)
+
+
+class _GenericChannel:
+    """Reference channel used under ``fast_path=False``: every send goes
+    through the generic :meth:`Simulator.schedule`, proving the fast path
+    interleaves identically (the determinism tests diff the two)."""
+
+    __slots__ = ("_sim", "delay", "sink")
+
+    def __init__(self, sim: "Simulator", delay: int,
+                 sink: Callable[[Any], None]):
+        if type(delay) is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"channel delay must be >= 0, got {delay}")
+        self._sim = sim
+        self.delay = delay
+        self.sink = sink
+
+    def send(self, payload: Any):
+        return self._sim.schedule(self.delay, self.sink, payload)
+
+    def send_after(self, delay: int, payload: Any):
+        return self._sim.schedule(delay, self.sink, payload)
+
+
+#: Anything Simulator.cancel accepts.
+Cancelable = Union[Event, EventHandle]
 
 
 class Simulator:
@@ -85,22 +309,31 @@ class Simulator:
 
         sim = Simulator()
         sim.schedule(10, my_callback, arg1, arg2)
+        ch = sim.channel(3, my_sink)     # typed fast path: sink(payload)
+        ch.send(payload)
         sim.run()
 
     Components keep a reference to the simulator and schedule their own
     future work.  ``run`` drains the queue (optionally up to a time bound or
     event-count bound, to keep runaway models from spinning forever).
+
+    ``fast_path=False`` makes :meth:`channel` return a shim that routes
+    every send through the generic :meth:`schedule` — slower, but useful
+    to assert the two paths produce bit-identical simulations.
+    ``debug=True`` returns generation-pinned handles from ``schedule`` and
+    channel sends, and :meth:`cancel` raises on a handle whose event
+    already fired (see module docstring).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_path: bool = True, debug: bool = False) -> None:
         self.now: int = 0
-        self._buckets: dict = {}     # time -> list[Event], in (priority, seq) order
+        self._fast_path = fast_path
+        self._debug = debug
+        self._buckets: dict = {}     # time -> list[Event], in execution order
         self._times: list = []       # min-heap of the distinct bucket times
-        self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
         self._free: list = []        # recycled Event objects
-        self._npending: int = 0      # live (non-cancelled) queued events
         self._ncancelled: int = 0    # cancelled events still in buckets
         self._unsorted: set = set()  # bucket times holding non-default priorities
         self._draining: Optional[int] = None  # bucket owned by the run loop
@@ -109,7 +342,7 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable[..., None],
-                 *args: Any, priority: int = 0) -> Event:
+                 *args: Any, priority: int = 0) -> Cancelable:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
 
         ``delay`` must be non-negative.  ``priority`` breaks ties at equal
@@ -121,19 +354,16 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         time = self.now + delay
-        seq = self._seq
-        self._seq = seq + 1
         free = self._free
         if free:
             event = free.pop()
             event.time = time
             event.priority = priority
-            event.seq = seq
             event.callback = callback
             event.args = args
-            event.cancelled = False
+            event.payload = _GENERIC
         else:
-            event = Event(time, priority, seq, callback, args)
+            event = Event(time, priority, callback, args)
         bucket = self._buckets.get(time)
         if bucket is None:
             self._buckets[time] = [event]
@@ -142,31 +372,58 @@ class Simulator:
             bucket.append(event)
         if priority:
             self._unsorted.add(time)
-        self._npending += 1
+        if self._debug:
+            return EventHandle(event, event.generation)
         return event
 
     def schedule_at(self, time: int, callback: Callable[..., None],
-                    *args: Any, priority: int = 0) -> Event:
+                    *args: Any, priority: int = 0) -> Cancelable:
         """Schedule ``callback`` at an absolute cycle count ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}")
         return self.schedule(time - self.now, callback, *args, priority=priority)
 
-    def cancel(self, event: Event) -> None:
+    def channel(self, delay: int, sink: Callable[[Any], None]):
+        """A :class:`ConstLatencyChannel` delivering ``sink(payload)``
+        after the fixed ``delay`` (see class docstring for when to use).
+
+        Under ``fast_path=False`` the returned object has the same API but
+        routes through the generic ``schedule``; under ``debug=True`` its
+        sends return :class:`EventHandle` objects.
+        """
+        if not self._fast_path:
+            return _GenericChannel(self, delay, sink)
+        if self._debug:
+            return _DebugChannel(self, delay, sink)
+        return ConstLatencyChannel(self, delay, sink)
+
+    def cancel(self, event: Cancelable) -> None:
         """Cancel a previously scheduled event.
 
         Removal is lazy (the event is dropped when its bucket drains), but
         the accounting is immediate, and the calendar is compacted outright
         when cancelled events outnumber live ones.
+
+        Under ``debug=True`` this accepts the :class:`EventHandle` objects
+        the debug simulator hands out and raises :class:`SimulationError`
+        when the handle's event already fired or was collected (on a
+        non-debug simulator such a stale cancel silently corrupts the
+        event pool — that is exactly what debug mode exists to catch).
         """
+        if type(event) is EventHandle:
+            handle = event
+            event = handle.event
+            if handle.generation != event.generation:
+                raise SimulationError(
+                    "cancel() on a stale handle: the event fired or was "
+                    f"collected, and its slot was recycled ({handle!r})")
         if event.cancelled:
             return
         event.cancelled = True
-        self._npending -= 1
         self._ncancelled += 1
         if (self._ncancelled >= _COMPACT_MIN_CANCELLED
-                and self._ncancelled > self._npending):
+                and self._ncancelled * 2 > self._queued_events()):
             self._compact()
 
     def _compact(self) -> None:
@@ -177,6 +434,7 @@ class Simulator:
         -executed (recycled) events stay in that list until it completes.
         """
         free = self._free
+        debug = self._debug
         draining = self._draining
         removed = 0
         for time, bucket in self._buckets.items():
@@ -188,6 +446,10 @@ class Simulator:
                 for event in bucket:
                     if event.cancelled:
                         event.cancelled = False
+                        if event.priority:
+                            event.priority = 0
+                        if debug:
+                            event.generation += 1
                         free.append(event)
                 bucket[:] = live
         self._ncancelled -= removed
@@ -224,8 +486,9 @@ class Simulator:
         executed = 0
         buckets = self._buckets
         times = self._times
-        free = self._free
+        free_extend = self._free.extend
         unsorted_times = self._unsorted
+        debug = self._debug
         while times:
             time = times[0]
             if time < self.now:
@@ -239,30 +502,49 @@ class Simulator:
             # events up in order.
             i = 0
             try:
-                while i < len(bucket):
+                while True:
                     if unsorted_times and time in unsorted_times:
                         tail = bucket[i:]
                         tail.sort()
                         bucket[i:] = tail
                         unsorted_times.discard(time)
-                    event = bucket[i]
+                    # Termination via IndexError instead of a len() call
+                    # per event: callbacks grow the bucket mid-drain, so
+                    # the bound is dynamic anyway.
+                    try:
+                        event = bucket[i]
+                    except IndexError:
+                        break
                     i += 1
                     if event.cancelled:
                         self._ncancelled -= 1
                         event.cancelled = False
-                        free.append(event)
+                        if event.priority:
+                            event.priority = 0
+                        if debug:
+                            event.generation += 1
                         continue
-                    self._npending -= 1
                     callback = event.callback
-                    args = event.args
-                    free.append(event)
-                    callback(*args)
+                    payload = event.payload
+                    if event.priority:
+                        event.priority = 0
+                    if debug:
+                        event.generation += 1
+                    if payload is _GENERIC:
+                        callback(*event.args)
+                    else:
+                        callback(payload)
                     executed += 1
             except BaseException:
-                # A callback raised: drop the consumed prefix so a later
-                # run() cannot re-execute recycled events.
+                # A callback raised: recycle and drop the consumed prefix
+                # so a later run() cannot re-execute those events.
+                free_extend(bucket[:i])
                 del bucket[:i]
                 raise
+            # Batch recycle: every entry was consumed (fired or collected)
+            # exactly once, and nothing mid-drain could have re-pooled one
+            # of them, so the bucket itself is the recycle list.
+            free_extend(bucket)
             del buckets[time]
             heappop(times)
             self._draining = None
@@ -274,8 +556,9 @@ class Simulator:
         executed = 0
         buckets = self._buckets
         times = self._times
-        free = self._free
+        free_append = self._free.append
         unsorted_times = self._unsorted
+        debug = self._debug
         while times:
             time = times[0]
             if until is not None and time > until:
@@ -302,14 +585,24 @@ class Simulator:
                     if event.cancelled:
                         self._ncancelled -= 1
                         event.cancelled = False
-                        free.append(event)
+                        if event.priority:
+                            event.priority = 0
+                        if debug:
+                            event.generation += 1
+                        free_append(event)
                         continue
                     self.now = time
-                    self._npending -= 1
                     callback = event.callback
-                    args = event.args
-                    free.append(event)
-                    callback(*args)
+                    payload = event.payload
+                    if event.priority:
+                        event.priority = 0
+                    if debug:
+                        event.generation += 1
+                    free_append(event)
+                    if payload is _GENERIC:
+                        callback(*event.args)
+                    else:
+                        callback(payload)
                     executed += 1
             except BaseException:
                 del bucket[:i]
@@ -323,10 +616,23 @@ class Simulator:
         """Execute exactly one pending event.  Returns False if none left."""
         return self.run(max_events=1) == 1
 
+    def _queued_events(self) -> int:
+        """Events sitting in buckets, cancelled or not (consumed events of
+        a bucket being drained linger in its list until the batch ends)."""
+        total = 0
+        for bucket in self._buckets.values():
+            total += len(bucket)
+        return total
+
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued (O(1))."""
-        return self._npending
+        """Number of not-yet-cancelled events still queued.
+
+        O(number of distinct timestamps), not O(events) — the hot paths
+        pay nothing for this accounting.  Exact between ``run()`` calls;
+        while a bucket is mid-drain it can transiently overcount (recycled
+        events stay in the bucket list until the batch completes)."""
+        return self._queued_events() - self._ncancelled
 
     @property
     def events_executed(self) -> int:

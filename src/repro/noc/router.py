@@ -64,6 +64,11 @@ class Router(Component):
         # tile; _step_to_zero is the hop toward the off-chip eject tile.
         self._steps = mesh.step_table[tile]
         self._step_to_zero = self._steps[0]
+        # Pipeline fast lanes: injected packets go straight to the routing
+        # stage; packets from each neighbor get a per-direction lane with
+        # the credit-return target baked in (built in connect_neighbor).
+        self._inject_lane = sim.channel(hop_latency, self._dispatch)
+        self._hop_lanes: Dict[Direction, object] = {}
 
     # ------------------------------------------------------------------
     # Wiring (done once at network construction)
@@ -81,6 +86,19 @@ class Router(Component):
                         cycles_per_unit=self.cycles_per_flit,
                         sink_args=(back, channel))
             self._ports[(direction, channel)] = _OutputPort(link, self.credit_count)
+        # Receive-side lane for packets arriving *from* ``direction``:
+        # after the pipeline latency, return the upstream credit (for the
+        # port on ``other`` that points back at us), then route.  The
+        # credit keys are prebuilt so the hot path only does dict lookups.
+        credit_send = self.sim.channel(1, other._credit_arrive).send
+        credit_keys = {ch: (back, ch) for ch in NocChannel}
+
+        def hop(packet: Packet, _credit_send=credit_send,
+                _keys=credit_keys, _dispatch=self._dispatch) -> None:
+            _credit_send(_keys[packet.channel])
+            _dispatch(packet)
+
+        self._hop_lanes[direction] = self.sim.channel(self.hop_latency, hop)
 
     def connect_local(self, channel: NocChannel,
                       handler: EndpointHandler) -> None:
@@ -103,22 +121,21 @@ class Router(Component):
     def inject(self, packet: Packet) -> None:
         """Entry point for packets born at this tile (or arriving off-chip)."""
         self.stats.inc("injected")
-        self.sim.schedule(self.hop_latency, self._route, packet, None)
+        self._inject_lane.send(packet)
 
     def receive(self, packet: Packet, from_direction: Direction,
                 channel: NocChannel) -> None:
         """A packet arrived over the link from ``from_direction``."""
         self.stats.inc("received")
         packet.hops += 1
-        self.sim.schedule(self.hop_latency, self._route, packet, from_direction)
+        self._hop_lanes[from_direction].send(packet)
 
-    def _route(self, packet: Packet, from_direction: Optional[Direction]) -> None:
-        # Forwarding frees the upstream buffer slot: return the credit.
-        if from_direction is not None:
-            upstream = self._neighbors.get(from_direction)
-            if upstream is not None:
-                self.sim.schedule(1, upstream._credit_arrive,
-                                  (OPPOSITE[from_direction], packet.channel))
+    def _dispatch(self, packet: Packet) -> None:
+        """Routing stage: pick a direction, then eject or forward.
+
+        Reached through the inject lane or a per-direction hop lane (which
+        has already returned the upstream credit).
+        """
         direction = self._decide(packet)
         if direction is _LOCAL:
             handler = self._local_handlers.get(packet.channel)

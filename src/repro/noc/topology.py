@@ -96,11 +96,23 @@ class Mesh:
                 yield direction, self.tile_at(nx, ny)
 
     def route_step(self, here: int, dest: int) -> Direction:
-        """Next hop under X-then-Y dimension-ordered routing."""
+        """Next hop under boundary-aware X-then-Y routing.
+
+        Pure dimension-ordered routing breaks on a ragged last row: an
+        eastward X step can point at a hole (a grid position past the last
+        tile).  Only EAST can ever step into a hole — holes exist solely at
+        the end of the last row, so WEST/NORTH moves stay inside the mesh
+        and a SOUTH move into the last row only happens when ``dest``
+        itself (an existing tile) is there.  When the EAST step is blocked,
+        ``dest`` must lie in an earlier row (its x > ours is only reachable
+        above the ragged row), so detouring NORTH first is still minimal.
+        """
         hx, hy = self.coords(here)
         dx, dy = self.coords(dest)
         if hx < dx:
-            return Direction.EAST
+            if hy * self.width + hx + 1 < self.n_tiles:
+                return Direction.EAST
+            return Direction.NORTH
         if hx > dx:
             return Direction.WEST
         if hy < dy:

@@ -11,9 +11,11 @@ derives its random seed from the root seed and its own identity, and the
 merge preserves task order.
 
 ``run_tasks`` is the generic engine; :mod:`repro.parallel.probes` shards
-the latency-probe workloads on top of it.
+the latency-probe workloads and :mod:`repro.parallel.osmodel` the
+Fig. 8/9 OS-model sweeps on top of it.
 """
 
+from .osmodel import sharded_fig8_series, sharded_fig9_series
 from .probes import probe_rows, sharded_latency_matrix
 from .runner import env_jobs, fixed_shards, resolve_jobs, run_tasks, task_seed
 
@@ -23,6 +25,8 @@ __all__ = [
     "probe_rows",
     "resolve_jobs",
     "run_tasks",
+    "sharded_fig8_series",
+    "sharded_fig9_series",
     "sharded_latency_matrix",
     "task_seed",
 ]

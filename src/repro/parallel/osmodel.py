@@ -1,0 +1,115 @@
+"""Sharded OS-model sweeps: the parallel Fig. 8/9 machinery.
+
+The Fig. 8 thread-scaling and Fig. 9 thread-allocation studies each
+evaluate the phase-level NPB IS model at a handful of sweep points, but
+every evaluation first needs a :class:`~repro.osmodel.NumaMachine`
+*measured* from the cycle-level prototype — and that measurement (a
+prototype build plus latency probes) dominates the wall clock.  Here the
+sweep is sharded one task per sweep point: each worker builds a fresh
+prototype, measures the machine once, and evaluates its point(s) on it,
+reusing the warm machine for both the NUMA-on and NUMA-off series.
+
+Determinism contract (same as the whole package): the prototype
+simulation is deterministic, so every worker measures a bit-identical
+``NumaMachine``; task composition and the per-task seeds derive only
+from the inputs, never from the worker count; and the merge preserves
+task order.  ``jobs=N`` therefore equals ``jobs=1`` equals the legacy
+serial ``fig8_series(machine_from_prototype(...))`` exactly — the tests
+assert all three.
+
+Each task carries a seed derived via :func:`~repro.parallel.task_seed`.
+The IS model is currently analytic, so workers do not consume it yet; it
+is part of the task contract so stochastic workload parameters can be
+added without changing the sharding or the merge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .runner import resolve_jobs, run_tasks, task_seed
+
+#: One sweep point: (thread count, active-node count or None for "all").
+SweepPoint = Tuple[int, Optional[int]]
+
+#: A worker task: (config, sweep points, IS model params, derived seed).
+ModelTask = Tuple[object, Tuple[SweepPoint, ...], object, int]
+
+
+def _model_points(task: ModelTask):
+    """Worker: measure the machine once, evaluate the shard's points.
+
+    Returns ``(machine, [(numa_on_seconds, numa_off_seconds), ...])``.
+    """
+    # Imported here: repro.core imports this package for its --jobs path.
+    from ..core.prototype import Prototype
+    from ..osmodel import Taskset, machine_from_prototype
+    from ..workloads.intsort import IntSortModel
+
+    config, points, params, _seed = task
+    machine = machine_from_prototype(Prototype(config))
+    on = IntSortModel(machine, numa_on=True, params=params)
+    off = IntSortModel(machine, numa_on=False, params=params)
+    values = []
+    for n_threads, node_count in points:
+        taskset = None if node_count is None else Taskset.first_nodes(node_count)
+        values.append((on.runtime_seconds(n_threads, taskset),
+                       off.runtime_seconds(n_threads, taskset)))
+    return machine, values
+
+
+def sharded_fig8_series(config, thread_counts=(3, 6, 12, 24, 48),
+                        params=None, jobs: Optional[int] = 1,
+                        root_seed: int = 0):
+    """Fig. 8 (runtime vs thread count), one worker task per thread count.
+
+    Returns ``(machine, series)`` where ``series`` matches
+    :func:`repro.workloads.fig8_series` bit-for-bit at any ``jobs``.
+    ``jobs=1`` short-circuits to one in-process machine measurement.
+    """
+    from ..core.prototype import Prototype
+    from ..osmodel import machine_from_prototype
+    from ..workloads.intsort import IntSortParams, fig8_series
+
+    if params is None:
+        params = IntSortParams()
+    if min(resolve_jobs(jobs), len(thread_counts)) <= 1:
+        machine = machine_from_prototype(Prototype(config))
+        return machine, fig8_series(machine, thread_counts, params)
+    tasks: List[ModelTask] = [
+        (config, ((threads, None),), params, task_seed(root_seed, "fig8", i))
+        for i, threads in enumerate(thread_counts)]
+    results = run_tasks(_model_points, tasks, jobs=jobs)
+    return results[0][0], {
+        "threads": list(thread_counts),
+        "numa_on": [values[0][0] for _machine, values in results],
+        "numa_off": [values[0][1] for _machine, values in results],
+    }
+
+
+def sharded_fig9_series(config, n_threads: int = 12, params=None,
+                        jobs: Optional[int] = 1, root_seed: int = 0):
+    """Fig. 9 (threads pinned to 1..n nodes), one task per node count.
+
+    Returns ``(machine, series)`` matching
+    :func:`repro.workloads.fig9_series` bit-for-bit at any ``jobs``.
+    """
+    from ..core.prototype import Prototype
+    from ..osmodel import machine_from_prototype
+    from ..workloads.intsort import IntSortParams, fig9_series
+
+    if params is None:
+        params = IntSortParams()
+    node_counts = list(range(1, config.n_nodes + 1))
+    if min(resolve_jobs(jobs), len(node_counts)) <= 1:
+        machine = machine_from_prototype(Prototype(config))
+        return machine, fig9_series(machine, n_threads, params)
+    tasks: List[ModelTask] = [
+        (config, ((n_threads, k),), params, task_seed(root_seed, "fig9", i))
+        for i, k in enumerate(node_counts)]
+    results = run_tasks(_model_points, tasks, jobs=jobs)
+    return results[0][0], {
+        "active_nodes": node_counts,
+        "numa_on": [values[0][0] for _machine, values in results],
+        "numa_off": [values[0][1] for _machine, values in results],
+    }

@@ -79,3 +79,59 @@ class TestSystemDeterminism:
     def test_fig10_speedups_repeatable(self):
         assert (fig10_speedups(n_samples=32)
                 == fig10_speedups(n_samples=32))
+
+
+def _mixed_path_run(sim: Simulator):
+    """Channel sends and generic schedules interleaved on shared cycles.
+
+    Exercises the typed fast path against the generic scheduler: FIFO
+    lanes, zero-delay lanes, ``send_after``, priorities, and cancels all
+    landing in the same buckets.  Returns the (time, tag) trace.
+    """
+    trace = []
+
+    def emit(tag):
+        trace.append((sim.now, tag))
+
+    def hop(n):
+        trace.append((sim.now, f"hop{n}"))
+        if n > 0:
+            lanes[n % 3].send(n - 1)
+            if n % 4 == 0:
+                sim.schedule(0, emit, f"hop{n}/echo")
+
+    lanes = [sim.channel(delay, hop) for delay in range(3)]
+    zero = sim.channel(0, emit)
+    lanes[1].send(12)
+    sim.schedule(2, emit, "generic@2")
+    sim.schedule(2, emit, "urgent@2", priority=-1)
+    lanes[2].send_after(2, 3)
+    sim.cancel(lanes[2].send_after(5, 99))
+    sim.schedule(1, zero.send, "zero-lane")
+    sim.run()
+    return trace, sim.events_executed
+
+
+class TestFastPathDeterminism:
+    def test_channel_trace_identical_to_generic_path(self):
+        # fast_path=False routes every channel send through the generic
+        # schedule() path; the interleaving must not change at all.
+        assert (_mixed_path_run(Simulator(fast_path=True))
+                == _mixed_path_run(Simulator(fast_path=False)))
+
+    def test_debug_mode_matches_golden(self):
+        assert _scripted_run(Simulator(debug=True)) == GOLDEN_TRACE
+
+    def test_mixed_path_trace_repeatable(self):
+        assert (_mixed_path_run(Simulator())
+                == _mixed_path_run(Simulator()))
+
+    def test_prototype_fast_path_bit_identical(self):
+        from repro.core.config import parse_config
+        from repro.core.prototype import Prototype
+
+        config = parse_config("1x2x2")
+        fast = Prototype(config)
+        generic = Prototype(config, fast_path=False)
+        assert fast.latency_matrix() == generic.latency_matrix()
+        assert fast.sim.events_executed == generic.sim.events_executed

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.engine import Histogram, Link, Simulator, StatGroup, derive_seed, derived_rng
+from repro.engine import (ConstLatencyChannel, EventHandle, Histogram, Link,
+                          Simulator, StatGroup, derive_seed, derived_rng)
 from repro.errors import SimulationError
 
 
@@ -163,3 +164,201 @@ class TestRng:
         a = derived_rng(42, "workload", "is")
         b = derived_rng(42, "workload", "is")
         assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+class TestConstLatencyChannel:
+    def test_delivery_after_fixed_delay(self):
+        sim = Simulator()
+        lane = sim.channel(3, lambda p: got.append((sim.now, p)))
+        got = []
+        lane.send("x")
+        sim.run()
+        assert got == [(3, "x")]
+
+    def test_factory_returns_typed_channel(self):
+        sim = Simulator()
+        assert isinstance(sim.channel(1, lambda p: None),
+                          ConstLatencyChannel)
+
+    def test_fifo_within_cycle(self):
+        sim = Simulator()
+        got = []
+        lane = sim.channel(2, got.append)
+        for i in range(5):
+            lane.send(i)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_send_after_variable_delays(self):
+        sim = Simulator()
+        got = []
+        lane = sim.channel(4, lambda p: got.append((sim.now, p)))
+        lane.send_after(1, "b")
+        lane.send_after(0, "a")
+        lane.send_after(7, "c")
+        sim.run()
+        assert got == [(0, "a"), (1, "b"), (7, "c")]
+
+    def test_zero_delay_send_joins_current_cycle(self):
+        sim = Simulator()
+        got = []
+
+        def first(payload):
+            got.append((sim.now, payload))
+            relay.send("child")
+
+        relay = sim.channel(0, lambda p: got.append((sim.now, p)))
+        lane = sim.channel(2, first)
+        lane.send("parent")
+        sim.run()
+        assert got == [(2, "parent"), (2, "child")]
+
+    def test_lane_reusable_across_runs(self):
+        # Regression: the (time, bucket) lane cache must never hand back
+        # a bucket that already drained — a stale hit would lose events.
+        sim = Simulator()
+        got = []
+        lane = sim.channel(2, got.append)
+        lane.send("first")
+        sim.run()
+        lane.send("second")
+        lane.send("third")
+        sim.run()
+        assert got == ["first", "second", "third"]
+        assert sim.pending == 0
+
+    def test_cancel_channel_event(self):
+        sim = Simulator()
+        got = []
+        lane = sim.channel(5, got.append)
+        keep = lane.send("keep")
+        sim.cancel(lane.send("drop"))
+        assert keep is not None
+        sim.run()
+        assert got == ["keep"]
+
+    def test_pending_counts_channel_events(self):
+        sim = Simulator()
+        lane = sim.channel(3, lambda p: None)
+        lane.send(1)
+        lane.send(2)
+        sim.schedule(1, lambda: None)
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
+    def test_generic_priority_sorts_before_channel_sends(self):
+        # Same-cycle order: priority first, then schedule/send order —
+        # channel sends always carry priority 0.
+        sim = Simulator()
+        got = []
+        lane = sim.channel(4, got.append)
+        lane.send("chan1")
+        sim.schedule(4, got.append, "urgent", priority=-1)
+        sim.schedule(4, got.append, "generic")
+        lane.send("chan2")
+        sim.run()
+        assert got == ["urgent", "chan1", "generic", "chan2"]
+
+    def test_mixed_paths_interleave_in_send_order(self):
+        # The documented contract: generic schedule() and channel sends
+        # landing on the same cycle fire in issue order.
+        sim = Simulator()
+        got = []
+        lane = sim.channel(1, got.append)
+        sim.schedule(1, got.append, "g0")
+        lane.send("c0")
+        sim.schedule(1, got.append, "g1")
+        lane.send_after(1, "c1")
+        sim.run()
+        assert got == ["g0", "c0", "g1", "c1"]
+
+    def test_fast_path_off_is_bit_identical(self):
+        def drive(sim):
+            trace = []
+
+            def hop(n):
+                trace.append((sim.now, n))
+                if n:
+                    lanes[n % 3].send(n - 1)
+
+            lanes = [sim.channel(d, hop) for d in range(3)]
+            lanes[1].send(10)
+            sim.schedule(2, hop, 100)
+            sim.run()
+            return trace, sim.events_executed
+
+        assert drive(Simulator(fast_path=True)) == \
+            drive(Simulator(fast_path=False))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.channel(-1, lambda p: None)
+        lane = sim.channel(1, lambda p: None)
+        with pytest.raises(SimulationError):
+            lane.send_after(-1, "x")
+
+
+class TestDebugMode:
+    def test_schedule_returns_handle(self):
+        sim = Simulator(debug=True)
+        handle = sim.schedule(1, lambda: None)
+        assert isinstance(handle, EventHandle)
+
+    def test_cancel_before_fire_works(self):
+        sim = Simulator(debug=True)
+        got = []
+        sim.cancel(sim.schedule(2, got.append, "doomed"))
+        sim.schedule(2, got.append, "live")
+        sim.run()
+        assert got == ["live"]
+
+    def test_double_cancel_before_fire_ok(self):
+        sim = Simulator(debug=True)
+        handle = sim.schedule(2, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_raises(self):
+        sim = Simulator(debug=True)
+        handle = sim.schedule(1, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="stale handle"):
+            sim.cancel(handle)
+
+    def test_cancel_after_fire_raises_on_channel_handle(self):
+        sim = Simulator(debug=True)
+        lane = sim.channel(2, lambda p: None)
+        handle = lane.send("x")
+        assert isinstance(handle, EventHandle)
+        sim.run()
+        with pytest.raises(SimulationError, match="stale handle"):
+            sim.cancel(handle)
+
+    def test_cancel_after_compaction_collect_raises(self):
+        # A cancelled event collected by compaction is just as recycled
+        # as a fired one; a second cancel through an old handle must
+        # fail loudly, not corrupt the pool.
+        sim = Simulator(debug=True)
+        victims = [sim.schedule(5, lambda: None) for _ in range(200)]
+        sim.schedule(1, lambda: None)
+        for victim in victims:
+            sim.cancel(victim)
+        sim.run()
+        with pytest.raises(SimulationError, match="stale handle"):
+            sim.cancel(victims[0])
+
+    def test_debug_mode_does_not_change_results(self):
+        def drive(sim):
+            got = []
+            lane = sim.channel(1, got.append)
+            lane.send("a")
+            sim.schedule(1, got.append, "b")
+            sim.schedule(3, got.append, "c", priority=-1)
+            sim.run()
+            return got, sim.now, sim.events_executed
+
+        assert drive(Simulator(debug=True)) == drive(Simulator())

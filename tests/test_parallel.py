@@ -106,3 +106,48 @@ class TestCliJobs:
         assert main(["latency", "1x2x2"]) == 0
         legacy = capsys.readouterr().out
         assert sharded == legacy
+
+
+class TestShardedOsModel:
+    """Fig. 8/9 sweeps: serial == parallel == legacy, bit for bit."""
+
+    CONFIG = "2x1x2"
+    THREADS = (2, 4)
+
+    def test_fig8_serial_parallel_legacy_identical(self):
+        from repro.core.prototype import Prototype
+        from repro.osmodel import machine_from_prototype
+        from repro.parallel import sharded_fig8_series
+        from repro.workloads.intsort import IntSortParams, fig8_series
+
+        config = parse_config(self.CONFIG)
+        machine_serial, serial = sharded_fig8_series(
+            config, self.THREADS, jobs=1)
+        machine_parallel, parallel = sharded_fig8_series(
+            config, self.THREADS, jobs=2)
+        legacy_machine = machine_from_prototype(Prototype(config))
+        legacy = fig8_series(legacy_machine, self.THREADS, IntSortParams())
+        assert machine_serial == machine_parallel == legacy_machine
+        assert serial == parallel == legacy
+
+    def test_fig9_serial_parallel_legacy_identical(self):
+        from repro.core.prototype import Prototype
+        from repro.osmodel import machine_from_prototype
+        from repro.parallel import sharded_fig9_series
+        from repro.workloads.intsort import IntSortParams, fig9_series
+
+        config = parse_config(self.CONFIG)
+        machine_serial, serial = sharded_fig9_series(
+            config, n_threads=2, jobs=1)
+        machine_parallel, parallel = sharded_fig9_series(
+            config, n_threads=2, jobs=2)
+        legacy_machine = machine_from_prototype(Prototype(config))
+        legacy = fig9_series(legacy_machine, 2, IntSortParams())
+        assert machine_serial == machine_parallel == legacy_machine
+        assert serial == parallel == legacy
+
+    def test_fig8_task_seeds_are_distinct(self):
+        from repro.parallel.runner import task_seed
+
+        seeds = [task_seed(0, "fig8", i) for i in range(5)]
+        assert len(set(seeds)) == 5
