@@ -8,30 +8,37 @@ $1.65/hr better, until utilization forces the 75 MHz clock.
 
 from repro.analysis import render_table
 from repro.fpga import F1_INSTANCES, estimate
+from repro.parallel import env_jobs, run_tasks
 
 CONFIGS = [(1, 2), (1, 10), (1, 12), (2, 4), (2, 5), (4, 2)]
 
 
-def run_sweep():
+def estimate_point(task):
+    nodes, tiles = task
     price = F1_INSTANCES["f1.2xlarge"].price_per_hour
-    rows = []
-    for nodes, tiles in CONFIGS:
-        r = estimate(nodes, tiles)
-        total_tiles = nodes * tiles
-        # Throughput proxy: core-MHz per dollar-hour.
-        core_mhz = total_tiles * r.frequency_mhz
-        rows.append({
-            "config": f"{nodes}x{tiles}",
-            "tiles": total_tiles,
-            "freq": r.frequency_mhz,
-            "util": r.utilization,
-            "core_mhz_per_dollar": core_mhz / price,
-        })
-    return rows
+    r = estimate(nodes, tiles)
+    total_tiles = nodes * tiles
+    # Throughput proxy: core-MHz per dollar-hour.
+    core_mhz = total_tiles * r.frequency_mhz
+    return {
+        "config": f"{nodes}x{tiles}",
+        "tiles": total_tiles,
+        "freq": r.frequency_mhz,
+        "util": r.utilization,
+        "core_mhz_per_dollar": core_mhz / price,
+    }
+
+
+def run_sweep(jobs=1):
+    return run_tasks(estimate_point, CONFIGS, jobs=jobs)
 
 
 def test_ablation_packing(benchmark, report):
-    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    rows = benchmark.pedantic(run_sweep, kwargs={"jobs": env_jobs()},
+                              iterations=1, rounds=1)
+    # The sharded sweep is bit-identical to the serial scan at any
+    # worker count (the repro.parallel contract).
+    assert rows == run_sweep(jobs=1)
     text = render_table(
         ["config", "tiles/FPGA", "MHz", "LUTs", "core-MHz per $/hr"],
         [[r["config"], r["tiles"], f"{r['freq']:.0f}",

@@ -3,15 +3,18 @@
 from repro.analysis import bar_chart, render_table
 from repro.cost import (FIG13_TOOLS, benchmark_costs, gem5_cost_ratio,
                         suite_costs)
+from repro.parallel import env_jobs
 
 
-def compute_costs():
-    return benchmark_costs(), suite_costs(), gem5_cost_ratio()
+def compute_costs(jobs=1):
+    return benchmark_costs(jobs=jobs), suite_costs(), gem5_cost_ratio()
 
 
 def test_fig13_modeling_costs(benchmark, report):
-    costs, suite, gem5_ratio = benchmark.pedantic(compute_costs,
-                                                  iterations=1, rounds=1)
+    costs, suite, gem5_ratio = benchmark.pedantic(
+        compute_costs, kwargs={"jobs": env_jobs()}, iterations=1, rounds=1)
+    # Sharded cost grid == serial cost grid, bit for bit.
+    assert costs == benchmark_costs(jobs=1)
     labels = list(costs) + ["SPECint 2017"]
     series = {tool: [costs[b][tool] for b in costs] + [suite[tool]]
               for tool in FIG13_TOOLS}

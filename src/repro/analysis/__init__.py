@@ -1,6 +1,7 @@
 """Result rendering: ASCII tables, bar charts, heatmaps."""
 
-from .charts import bar_chart, block_summary, heatmap, line_series
+from .charts import (bar_chart, block_summary, heatmap, line_series,
+                     probe_timeseries, sparkline, utilization_heatmap)
 from .tables import render_table
 
 __all__ = [
@@ -8,5 +9,8 @@ __all__ = [
     "block_summary",
     "heatmap",
     "line_series",
+    "probe_timeseries",
     "render_table",
+    "sparkline",
+    "utilization_heatmap",
 ]

@@ -65,6 +65,63 @@ def heatmap(matrix: Sequence[Sequence[float]],
     return "\n".join(lines)
 
 
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One character per sample, shaded by magnitude (obs time series)."""
+    if not values:
+        return ""
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    span = (high - low) or 1.0
+    chars = []
+    for value in values:
+        level = int((min(max(value, low), high) - low) / span
+                    * (len(_RAMP) - 1))
+        chars.append(_RAMP[level])
+    return "".join(chars)
+
+
+def probe_timeseries(series: Dict[str, Sequence],
+                     title: Optional[str] = None,
+                     lo: Optional[float] = None,
+                     hi: Optional[float] = None) -> str:
+    """Sparkline per probe from :meth:`repro.obs.ProbeSet.series` output.
+
+    Each series is ``[(cycle, value), ...]``; rows are sorted by name so
+    the chart is stable across runs.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max((len(name) for name in series), default=0)
+    for name in sorted(series):
+        points = series[name]
+        values = [value for _, value in points]
+        peak = max(values, default=0.0)
+        lines.append(f"{name.ljust(name_width)} |"
+                     f"{sparkline(values, lo=lo, hi=hi)}| "
+                     f"peak {peak:.3g}")
+    return "\n".join(lines)
+
+
+def utilization_heatmap(series: Dict[str, Sequence],
+                        title: Optional[str] = None) -> str:
+    """Link-utilization probe series as a fixed-scale (0..1) heat grid.
+
+    Rows are links, columns are sample windows — the NoC/AXI occupancy
+    picture the obs probes exist to draw.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"scale: '{_RAMP[0]}'=0.0 .. '{_RAMP[-1]}'=1.0 "
+                 "(busy fraction per sample window)")
+    body = probe_timeseries(series, lo=0.0, hi=1.0)
+    if body:
+        lines.append(body)
+    return "\n".join(lines)
+
+
 def block_summary(matrix: Sequence[Sequence[float]],
                   block: int) -> Dict[str, float]:
     """Mean of diagonal blocks vs off-diagonal blocks (NUMA domains)."""

@@ -57,30 +57,34 @@ class AxiCrossbar(Component):
         self._regions.append(region)
         self._ports.append(port)
 
-    def _decode(self, addr: int) -> Optional[AxiPort]:
+    def _decode(self, addr: int):
         for region, port in zip(self._regions, self._ports):
             if region.contains(addr):
-                return port
-        return None
+                return region, port
+        return None, None
 
     # ------------------------------------------------------------------
     # AxiSlave interface
     # ------------------------------------------------------------------
     def axi_write(self, txn: AxiWrite, reply: WriteCallback) -> None:
-        port = self._decode(txn.addr)
+        region, port = self._decode(txn.addr)
         if port is None:
             self.stats.inc("decode_errors")
+            self.obs.axi_route(self, "write", txn, None)
             reply(AxiWriteResp(axi_id=txn.axi_id, resp=AxiResp.DECERR))
             return
         self.stats.inc("writes")
+        self.obs.axi_route(self, "write", txn, region.name)
         port.write(txn, reply)
 
     def axi_read(self, txn: AxiRead, reply: ReadCallback) -> None:
-        port = self._decode(txn.addr)
+        region, port = self._decode(txn.addr)
         if port is None:
             self.stats.inc("decode_errors")
+            self.obs.axi_route(self, "read", txn, None)
             reply(AxiReadResp(axi_id=txn.axi_id, data=b"",
                               resp=AxiResp.DECERR))
             return
         self.stats.inc("reads")
+        self.obs.axi_route(self, "read", txn, region.name)
         port.read(txn, reply)

@@ -41,11 +41,14 @@ class AxiPort(Component):
         super().__init__(sim, name)
         self.slave = slave
         self._req_link = Link(sim, f"{name}.req", self._deliver_request,
-                              latency=latency, cycles_per_unit=cycles_per_beat)
+                              latency=latency, cycles_per_unit=cycles_per_beat,
+                              category="axi")
         self._resp_link = Link(sim, f"{name}.resp", self._deliver_response,
-                               latency=latency, cycles_per_unit=cycles_per_beat)
+                               latency=latency, cycles_per_unit=cycles_per_beat,
+                               category="axi")
         self._write_waiters: Dict[int, WriteCallback] = {}
         self._read_waiters: Dict[int, ReadCallback] = {}
+        sim.obs.register_gauge(f"{name}.outstanding", lambda: self.outstanding)
 
     # ------------------------------------------------------------------
     # Master-side API
@@ -55,6 +58,7 @@ class AxiPort(Component):
             raise ProtocolError(f"{self.name}: duplicate write uid {txn.uid}")
         self._write_waiters[txn.uid] = on_resp
         self.stats.inc("writes")
+        self.obs.axi_txn(self, "write", txn)
         self._req_link.send(txn, units=1 + txn.beats)
 
     def read(self, txn: AxiRead, on_resp: ReadCallback) -> None:
@@ -62,6 +66,7 @@ class AxiPort(Component):
             raise ProtocolError(f"{self.name}: duplicate read uid {txn.uid}")
         self._read_waiters[txn.uid] = on_resp
         self.stats.inc("reads")
+        self.obs.axi_txn(self, "read", txn)
         self._req_link.send(txn, units=1)
 
     @property

@@ -83,6 +83,7 @@ class Bpc(Component):
         # single-payload sends.
         self._lookup_lane = sim.channel(hit_latency, self._lookup)
         self._replay_lane = sim.channel(0, self._lookup)
+        sim.obs.register_gauge(f"{name}.mshrs", self._mshrs.__len__)
 
     def set_l1_invalidate(self, callback: Callable[[int], None]) -> None:
         """L1 shootdown hook: called with a line address on Inv/eviction."""
@@ -150,6 +151,7 @@ class Bpc(Component):
 
     def _finish(self, op: MemOp, result: Optional[bytes]) -> None:
         self.stats.observe("op_latency", self.now - op.issued_at)
+        self.obs.cache_op(self, op)
         on_done = op.on_done
         op.on_done = None
         on_done(result)
@@ -166,6 +168,7 @@ class Bpc(Component):
         mshr = _Mshr(line, self.now)
         mshr.deferred.append(op)
         self._mshrs[line] = mshr
+        self.obs.cache_miss(self, line)
         if not upgrade:
             self._make_room(line)
         want_m = op.kind in (OpKind.STORE, OpKind.AMO)

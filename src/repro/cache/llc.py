@@ -89,6 +89,7 @@ class LlcSlice(Component):
         # redispatch of a request queued behind a completed transaction.
         self._dispatch_lane = sim.channel(access_latency, self._dispatch)
         self._redispatch_lane = sim.channel(0, self._dispatch)
+        sim.obs.register_gauge(f"{name}.busy_lines", self._active.__len__)
 
     # ------------------------------------------------------------------
     # NoC entry points
@@ -387,6 +388,7 @@ class LlcSlice(Component):
     # ------------------------------------------------------------------
     def _complete(self, txn: _Txn) -> None:
         self.stats.observe("txn_latency", self.now - txn.started_at)
+        self.obs.llc_txn(self, txn.line, txn.started_at)
         del self._active[txn.line]
         queue = self._queued.get(txn.line)
         if queue:

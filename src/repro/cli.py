@@ -10,11 +10,14 @@ simulation::
     python -m repro latency 2x1x4          # Fig.-7-style probe summary
     python -m repro hello 1x1x2            # boot HelloWorld, show console
     python -m repro cost                   # Fig.-13 cost table
+    python -m repro trace 2x1x2            # Perfetto trace + metrics bundle
+    python -m repro stats 2x1x2            # Prometheus-style metrics dump
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 from typing import List, Optional
@@ -26,6 +29,19 @@ from .errors import ReproError
 from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
                    estimate_build, max_tiles_per_fpga)
 from .parallel import probe_rows, run_tasks
+
+
+def _jobs_count(value: str) -> int:
+    """argparse type for ``--jobs``: a non-negative int (0 = all cores)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 means one worker per CPU), got {jobs}")
+    return jobs
 
 
 def cmd_describe(args) -> int:
@@ -131,6 +147,49 @@ def cmd_hello(args) -> int:
     return 0 if result.exit_code == 0 else 1
 
 
+def _drive_probes(proto) -> None:
+    """Deterministic traffic for the obs commands: one Fig. 7 sender row
+    (core 0 loads a line owned by every other core in turn)."""
+    for receiver in range(1, proto.config.total_tiles):
+        proto.measure_pair_latency(0, receiver)
+
+
+def cmd_trace(args) -> int:
+    from .obs import Observer, validate_chrome_trace
+    categories = args.categories.split(",") if args.categories else None
+    obs = Observer(categories=categories,
+                   ring_capacity=args.ring_capacity or None,
+                   sample_interval=args.sample_interval)
+    proto = build(args.config, obs=obs)
+    _drive_probes(proto)
+    obs.tracer.write(args.out)
+    validate_chrome_trace(args.out)
+    bundle = {"config": args.config,
+              "cycles": proto.now,
+              "metrics": obs.registry.to_dict(),
+              "series": obs.probes.series()}
+    with open(args.metrics, "w") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+    print(f"wrote {obs.tracer.event_count()} trace events to {args.out} "
+          f"(open in https://ui.perfetto.dev)")
+    print(f"wrote metrics bundle to {args.metrics} "
+          f"({proto.now} cycles simulated, "
+          f"{obs.tracer.dropped} events dropped)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs import Observer
+    obs = Observer(tracing=False, sample_interval=args.sample_interval)
+    proto = build(args.config, obs=obs)
+    _drive_probes(proto)
+    if args.format == "json":
+        print(obs.registry.to_json())
+    else:
+        print(obs.registry.to_prometheus(), end="")
+    return 0
+
+
 def cmd_cost(args) -> int:
     costs = benchmark_costs()
     rows = [[name] + [costs[name][tool] for tool in FIG13_TOOLS]
@@ -155,14 +214,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep = subparsers.add_parser(
         "sweep", help="every BxC configuration that fits one FPGA")
     sweep.add_argument("--core", default="ariane")
-    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+    sweep.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
                        help="worker processes (0 = one per CPU)")
     sweep.set_defaults(func=cmd_sweep)
 
     latency = subparsers.add_parser(
         "latency", help="measure core-to-core latencies (Fig. 7 style)")
     latency.add_argument("config")
-    latency.add_argument("--jobs", type=int, default=None, metavar="N",
+    latency.add_argument("--jobs", type=_jobs_count, default=None,
+                         metavar="N",
                          help="worker processes for the sharded probe "
                               "engine (0 = one per CPU; omit for the "
                               "legacy in-place scan)")
@@ -176,6 +236,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     cost = subparsers.add_parser(
         "cost", help="print the Fig. 13 modeling-cost table")
     cost.set_defaults(func=cmd_cost)
+
+    trace = subparsers.add_parser(
+        "trace", help="run traced latency probes; emit a Perfetto-loadable "
+                      "Chrome trace plus a metrics bundle")
+    trace.add_argument("config", nargs="?", default="2x1x2")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--metrics", default="metrics.json",
+                       help="metrics + probe-series bundle output path")
+    trace.add_argument("--categories", default=None, metavar="CAT,CAT",
+                       help="comma-separated trace categories "
+                            "(default: all)")
+    trace.add_argument("--ring-capacity", type=int, default=65536,
+                       metavar="N",
+                       help="max trace events kept per component "
+                            "(0 = unbounded)")
+    trace.add_argument("--sample-interval", type=int, default=1000,
+                       metavar="CYCLES",
+                       help="probe sampling interval in cycles")
+    trace.set_defaults(func=cmd_trace)
+
+    stats = subparsers.add_parser(
+        "stats", help="run latency probes with metrics only; print the "
+                      "registry as Prometheus text or JSON")
+    stats.add_argument("config", nargs="?", default="2x1x2")
+    stats.add_argument("--format", choices=("prom", "json"), default="prom")
+    stats.add_argument("--sample-interval", type=int, default=1000,
+                       metavar="CYCLES")
+    stats.set_defaults(func=cmd_stats)
 
     args = parser.parse_args(argv)
     try:

@@ -31,12 +31,17 @@ from .tile import Tile
 class Prototype:
     """A fully built SMAPPIC system."""
 
-    def __init__(self, config: PrototypeConfig, fast_path: bool = True):
+    def __init__(self, config: PrototypeConfig, fast_path: bool = True,
+                 obs=None):
         self.config = config
         # fast_path=False routes every constant-latency hop through the
         # generic scheduler — slower, but lets tests assert the typed fast
         # path is bit-identical (see tests/test_determinism.py).
-        self.sim = Simulator(fast_path=fast_path)
+        # obs takes a repro.obs.Observer; components register their stats,
+        # gauges, and links with it as they are built, so it must be in
+        # place before the node list below.
+        self.sim = Simulator(fast_path=fast_path, obs=obs)
+        self.obs = self.sim.obs
         self.addrmap = AddressMap(config.n_nodes, config.dram_bytes_per_node)
         self.homing = self._build_homing(config)
         self.fabric: Optional[PcieFabric] = None
@@ -229,6 +234,6 @@ class Prototype:
         return merge_stat_groups(groups)
 
 
-def build(label: str, **kwargs) -> Prototype:
+def build(label: str, obs=None, **kwargs) -> Prototype:
     """Shorthand: ``build("4x1x12", homing="numa")``."""
-    return Prototype(parse_config(label, **kwargs))
+    return Prototype(parse_config(label, **kwargs), obs=obs)

@@ -11,20 +11,34 @@ from .simulators import SIMULATORS, SimulatorModel
 FIG13_TOOLS = ("smappic", "firesim-single", "firesim-supernode", "sniper")
 
 
-def benchmark_costs(tools=FIG13_TOOLS) -> Dict[str, Dict[str, Optional[float]]]:
-    """Cost matrix: benchmark -> tool -> dollars (None = cannot run)."""
-    out: Dict[str, Dict[str, Optional[float]]] = {}
-    for name, benchmark in sorted(SPECINT_2017.items()):
-        row: Dict[str, Optional[float]] = {}
-        for tool in tools:
-            model = SIMULATORS[tool]
-            if not model.supports(benchmark):
-                row[tool] = None
-                continue
-            row[tool] = model.cost_dollars(benchmark.dynamic_instructions,
-                                           benchmark)
-        out[name] = row
-    return out
+def _cost_row(task) -> Dict[str, Optional[float]]:
+    """One benchmark's tool->dollars row (module-level: picklable)."""
+    name, tools = task
+    benchmark = SPECINT_2017[name]
+    row: Dict[str, Optional[float]] = {}
+    for tool in tools:
+        model = SIMULATORS[tool]
+        if not model.supports(benchmark):
+            row[tool] = None
+            continue
+        row[tool] = model.cost_dollars(benchmark.dynamic_instructions,
+                                       benchmark)
+    return row
+
+
+def benchmark_costs(tools=FIG13_TOOLS,
+                    jobs: int = 1) -> Dict[str, Dict[str, Optional[float]]]:
+    """Cost matrix: benchmark -> tool -> dollars (None = cannot run).
+
+    ``jobs`` shards the grid one benchmark per task through
+    :func:`repro.parallel.run_tasks`; results are bit-identical at any
+    worker count.
+    """
+    from ..parallel import run_tasks
+    names = sorted(SPECINT_2017)
+    rows = run_tasks(_cost_row, [(name, tuple(tools)) for name in names],
+                     jobs=jobs)
+    return dict(zip(names, rows))
 
 
 def suite_costs(tools=FIG13_TOOLS) -> Dict[str, Optional[float]]:

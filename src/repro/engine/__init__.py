@@ -2,6 +2,7 @@
 
 from .component import Component
 from .link import InstantLink, Link
+from .observer import NO_OBS, NullObserver
 from .rng import derive_seed, derived_rng
 from .simulator import ConstLatencyChannel, Event, EventHandle, Simulator
 from .stats import Histogram, StatGroup, merge_stat_groups
@@ -14,6 +15,8 @@ __all__ = [
     "Histogram",
     "InstantLink",
     "Link",
+    "NO_OBS",
+    "NullObserver",
     "Simulator",
     "StatGroup",
     "derive_seed",

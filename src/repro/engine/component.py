@@ -26,6 +26,13 @@ class Component:
         # self.schedule per message, and the instance attribute skips the
         # passthrough frame below.
         self.schedule = sim.schedule
+        # Observability: hooks go through self.obs unconditionally; the
+        # default NO_OBS makes every one a no-op.  Binding the stat group
+        # here means an enabled observer exports every component's
+        # counters under its hierarchical name with zero per-component
+        # registration code.
+        self.obs = sim.obs
+        sim.obs.bind_stats(name, self.stats)
 
     @property
     def now(self) -> int:

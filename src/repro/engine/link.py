@@ -35,7 +35,7 @@ class Link(Component):
 
     def __init__(self, sim: Simulator, name: str, sink: Sink,
                  latency: int = 1, cycles_per_unit: float = 1.0,
-                 sink_args: tuple = ()):
+                 sink_args: tuple = (), category: str = "link"):
         super().__init__(sim, name)
         if latency < 0:
             raise ConfigError(f"{name}: negative latency {latency}")
@@ -46,7 +46,9 @@ class Link(Component):
         self.sink_args = sink_args
         self.latency = latency
         self.cycles_per_unit = cycles_per_unit
+        self.category = category
         self._free_at = 0
+        sim.obs.register_link(self)
         # Deliveries ride the typed fast path: the sink is fixed at
         # construction, only the arrival delay varies (queueing +
         # serialization), so every send is a single-payload send_after.
@@ -76,6 +78,7 @@ class Link(Component):
         stats.inc("messages")
         stats.inc("units", units)
         stats.observe("queueing", depart - now)
+        self.obs.link_transfer(self, units, depart, arrival)
         return arrival
 
     @property

@@ -78,6 +78,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Optional, Union
 
 from ..errors import SimulationError
+from .observer import NO_OBS
 
 #: Compact the calendar only once this many cancelled events have piled up
 #: (below that the lazy drain-time sweep is cheaper than a rebuild).
@@ -325,10 +326,16 @@ class Simulator:
     already fired (see module docstring).
     """
 
-    def __init__(self, fast_path: bool = True, debug: bool = False) -> None:
+    def __init__(self, fast_path: bool = True, debug: bool = False,
+                 obs=None) -> None:
         self.now: int = 0
         self._fast_path = fast_path
         self._debug = debug
+        # Observability hooks (repro.obs.Observer); the null object keeps
+        # every component-side call site unconditional and the disabled
+        # path free of branches.  Channel wrapping happens at construction
+        # time, so the scheduling hot paths below never consult this.
+        self.obs = obs if obs is not None else NO_OBS
         self._buckets: dict = {}     # time -> list[Event], in execution order
         self._times: list = []       # min-heap of the distinct bucket times
         self._events_executed: int = 0
@@ -393,10 +400,12 @@ class Simulator:
         sends return :class:`EventHandle` objects.
         """
         if not self._fast_path:
-            return _GenericChannel(self, delay, sink)
-        if self._debug:
-            return _DebugChannel(self, delay, sink)
-        return ConstLatencyChannel(self, delay, sink)
+            channel = _GenericChannel(self, delay, sink)
+        elif self._debug:
+            channel = _DebugChannel(self, delay, sink)
+        else:
+            channel = ConstLatencyChannel(self, delay, sink)
+        return self.obs.wrap_channel(self, channel)
 
     def cancel(self, event: Cancelable) -> None:
         """Cancel a previously scheduled event.

@@ -75,6 +75,31 @@ class Histogram:
         counts = self._counts
         return [(value, counts[value]) for value in self._sorted_values()]
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (exact, lossless).
+
+        Sharded sweep workers and obs exports ship histograms between
+        processes as dicts and merge them here — no mean-of-means or other
+        lossy summary is ever needed.
+        """
+        for value, count in other._counts.items():
+            self.add(value, count)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless serialization (JSON-safe; keys stringified)."""
+        return {"counts": {str(value): count
+                           for value, count in self._counts.items()}}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Inverse of :meth:`to_dict`: ``from_dict(h.to_dict())`` is an
+        exact copy of ``h``."""
+        hist = cls()
+        for value, count in data["counts"].items():
+            hist.add(int(value), int(count))
+        return hist
+
 
 class StatGroup:
     """A named bag of counters and histograms.

@@ -60,9 +60,12 @@ class InterNodeBridge(Component):
         if shaper_latency or shaper_cycles_per_flit:
             self._shaper = Link(sim, f"{name}.shaper", self._encode,
                                 latency=shaper_latency,
-                                cycles_per_unit=shaper_cycles_per_flit)
+                                cycles_per_unit=shaper_cycles_per_flit,
+                                category="bridge")
         network.set_bridge_sink(self.send_packet)
         fabric.register(node_id, self)
+        sim.obs.register_gauge(f"{name}.queued_packets",
+                               lambda: self.queued_packets)
 
     # ------------------------------------------------------------------
     # Outbound path
@@ -83,12 +86,14 @@ class InterNodeBridge(Component):
         if credits <= 0:
             self._waiting.setdefault(key, deque()).append(packet)
             self.stats.inc("credit_stalls")
+            self.obs.bridge_credit_stall(self, key)
             self._maybe_poll(key)
             return
         self._transmit(key, packet)
 
     def _transmit(self, key: FlowKey, packet: Packet) -> None:
         self._credits[key] -= 1
+        self.obs.bridge_packet(self, packet)
         txn = AxiWrite(
             addr=encode_write_addr(packet.dst.node, self.node_id,
                                    packet.channel, packet.flits),

@@ -76,7 +76,8 @@ class PcieFabric(Component):
                 beat_cost = 0.1 if src == dst else pcie_cycles_per_beat
                 self._links[(src, dst)] = Link(
                     sim, f"{name}.{src}->{dst}", self._deliver,
-                    latency=latency, cycles_per_unit=beat_cost)
+                    latency=latency, cycles_per_unit=beat_cost,
+                    category="pcie")
 
     def register(self, node_id: int, endpoint: BridgeEndpoint) -> None:
         if node_id not in self.placement:
@@ -108,6 +109,7 @@ class PcieFabric(Component):
         if endpoint is None:
             raise ProtocolError(f"{self.name}: no bridge at node {dst_node}")
         kind, txn, on_resp = item
+        self.obs.pcie_transfer(self, src_node, dst_node, kind, units)
         self._link(src_node, dst_node).send(
             (kind, txn, on_resp, src_node, dst_node), units=units)
 

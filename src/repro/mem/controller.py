@@ -73,6 +73,11 @@ class NocAxiMemoryController(Component):
         self.egress_latency = egress_latency
         self._read_engine = _Engine(ids_per_engine)
         self._write_engine = _Engine(ids_per_engine)
+        sim.obs.register_gauge(f"{name}.inflight", lambda: self.inflight)
+        sim.obs.register_gauge(
+            f"{name}.queued",
+            lambda: len(self._read_engine.queue) + len(
+                self._write_engine.queue))
 
     # ------------------------------------------------------------------
     # NoC side
@@ -95,6 +100,8 @@ class NocAxiMemoryController(Component):
         if not engine.free_ids:
             engine.queue.append(request)
             self.stats.inc("id_stalls")
+            self.obs.mem_id_stall(
+                self, "read" if engine is self._read_engine else "write")
             return
         self._issue(engine, request)
 
@@ -123,6 +130,7 @@ class NocAxiMemoryController(Component):
         request = mshr.request
         window = resp.data[mshr.offset:mshr.offset + request.size]
         self.stats.observe("read_latency", self.now - mshr.issued_at)
+        self.obs.mem_retire(self, "read", self.now - mshr.issued_at)
         reply = MemReadResp(uid=request.uid, addr=request.addr, data=window)
         self.schedule(self.egress_latency, self.respond, reply,
                       request.requester)
@@ -131,6 +139,7 @@ class NocAxiMemoryController(Component):
         mshr = self._retire(self._write_engine, axi_id, resp.resp)
         request = mshr.request
         self.stats.observe("write_latency", self.now - mshr.issued_at)
+        self.obs.mem_retire(self, "write", self.now - mshr.issued_at)
         reply = MemWriteAck(uid=request.uid, addr=request.addr)
         self.schedule(self.egress_latency, self.respond, reply,
                       request.requester)

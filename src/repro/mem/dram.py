@@ -33,6 +33,13 @@ class Dram(Component):
         self.cycles_per_beat = cycles_per_beat
         self.banks = banks
         self._bank_free_at = [0] * banks
+        sim.obs.register_gauge(f"{name}.bank_backlog", self._bank_backlog)
+
+    def _bank_backlog(self) -> int:
+        """Cycles of already-committed work across all banks (gauge)."""
+        now = self.now
+        return sum(free_at - now
+                   for free_at in self._bank_free_at if free_at > now)
 
     def _bank_of(self, addr: int) -> int:
         return (addr // 64) % self.banks
@@ -52,6 +59,7 @@ class Dram(Component):
         self.stats.inc("writes")
         self.stats.inc("bytes_written", len(txn.data))
         delay = self._service_delay(txn.addr, txn.beats)
+        self.obs.dram_access(self, "write", delay, txn.beats)
 
         def finish() -> None:
             self.memory.write(txn.addr, txn.data)
@@ -63,6 +71,7 @@ class Dram(Component):
         self.stats.inc("reads")
         self.stats.inc("bytes_read", txn.length)
         delay = self._service_delay(txn.addr, txn.beats)
+        self.obs.dram_access(self, "read", delay, txn.beats)
 
         def finish() -> None:
             data = self.memory.read(txn.addr, txn.length)

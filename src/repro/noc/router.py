@@ -69,6 +69,11 @@ class Router(Component):
         # the credit-return target baked in (built in connect_neighbor).
         self._inject_lane = sim.channel(hop_latency, self._dispatch)
         self._hop_lanes: Dict[Direction, object] = {}
+        sim.obs.register_gauge(f"{name}.credit_wait", self._credit_wait_depth)
+
+    def _credit_wait_depth(self) -> int:
+        """Packets parked across all ports waiting for a credit (gauge)."""
+        return sum(len(port.waiting) for port in self._ports.values())
 
     # ------------------------------------------------------------------
     # Wiring (done once at network construction)
@@ -84,7 +89,7 @@ class Router(Component):
             link = Link(self.sim, f"{self.name}.{direction.value}.{channel.name}",
                         other.receive, latency=self.link_latency,
                         cycles_per_unit=self.cycles_per_flit,
-                        sink_args=(back, channel))
+                        sink_args=(back, channel), category="noc")
             self._ports[(direction, channel)] = _OutputPort(link, self.credit_count)
         # Receive-side lane for packets arriving *from* ``direction``:
         # after the pipeline latency, return the upstream credit (for the
@@ -121,6 +126,7 @@ class Router(Component):
     def inject(self, packet: Packet) -> None:
         """Entry point for packets born at this tile (or arriving off-chip)."""
         self.stats.inc("injected")
+        self.obs.noc_inject(self, packet)
         self._inject_lane.send(packet)
 
     def receive(self, packet: Packet, from_direction: Direction,
@@ -128,6 +134,7 @@ class Router(Component):
         """A packet arrived over the link from ``from_direction``."""
         self.stats.inc("received")
         packet.hops += 1
+        self.obs.noc_hop(self, packet, from_direction)
         self._hop_lanes[from_direction].send(packet)
 
     def _dispatch(self, packet: Packet) -> None:
@@ -144,6 +151,7 @@ class Router(Component):
                     f"{self.name}: no local handler for {packet.channel} "
                     f"({packet})")
             self.stats.inc("ejected")
+            self.obs.noc_eject(self, packet)
             handler(packet)
             return
         if direction is _OFFCHIP:
@@ -151,6 +159,7 @@ class Router(Component):
                 raise ProtocolError(
                     f"{self.name}: packet {packet} needs off-chip port")
             self.stats.inc("offchip")
+            self.obs.noc_offchip(self, packet)
             self._offchip_handler(packet)
             return
         self._send(packet, direction)
@@ -176,6 +185,7 @@ class Router(Component):
         else:
             port.waiting.append((packet, direction))
             self.stats.inc("credit_stalls")
+            self.obs.noc_credit_stall(self, direction, packet)
 
     def _credit_arrive(self, key: PortKey) -> None:
         port = self._ports.get(key)

@@ -1,0 +1,41 @@
+"""``repro.obs`` — observability: metrics registry, tracing, probes.
+
+The platform's pitch is visibility silicon can't give you: every run can
+expose *where* its cycles went.  This package is the host-side
+introspection layer over the simulated fabric:
+
+* :class:`MetricRegistry` — hierarchically named counters, gauges, and
+  histograms (``node0.tile3.bpc.misses``), built on the per-component
+  :class:`~repro.engine.stats.StatGroup` machinery and exportable as JSON
+  or a flat Prometheus-style text dump (``repro stats``).
+* :class:`Tracer` — cycle-accurate typed span/instant events in
+  per-component ring buffers, exported as Chrome ``trace_event`` JSON
+  loadable in Perfetto (``repro trace``), with category filters and a
+  bounded-memory mode.
+* :class:`ProbeSet` — periodic snapshots of NoC link occupancy, router
+  credit stalls, MSHR occupancy, and DRAM/bridge queue depths into time
+  series for :mod:`repro.analysis` utilization charts.
+* :class:`Observer` — the enabled implementation of the engine's hook
+  surface (:class:`~repro.engine.observer.NullObserver`), threaded
+  through every modeled subsystem.  The default :data:`~repro.engine.
+  observer.NO_OBS` keeps the disabled path branch-free and within noise.
+
+Observers never mutate model state and never schedule events (sampling
+piggybacks on instrumented activity), so enabling observability cannot
+change any architectural result bit — asserted by tests/test_obs.py.
+"""
+
+from .observer import Observer, TRACE_CATEGORIES
+from .probes import ProbeSet, link_utilization_probe
+from .registry import MetricRegistry
+from .trace import Tracer, validate_chrome_trace
+
+__all__ = [
+    "MetricRegistry",
+    "Observer",
+    "ProbeSet",
+    "TRACE_CATEGORIES",
+    "Tracer",
+    "link_utilization_probe",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,263 @@
+"""The enabled observer: hooks -> tracer spans, registry, probe samples.
+
+:class:`Observer` implements the hook surface defined by
+:class:`~repro.engine.observer.NullObserver`.  Pass one to
+``Prototype(config, obs=Observer(...))`` (or ``Simulator(obs=...)``) and
+every component constructed against that simulator wires itself up:
+stat groups bind into the :class:`~repro.obs.registry.MetricRegistry`
+under hierarchical dotted names, links register occupancy probes, and
+the per-subsystem hooks start feeding the tracer.
+
+Category filters pick which subsystems trace (``noc``, ``cache``,
+``axi``, ``pcie``, ``bridge``, ``mem``, ``link``, ``kernel``); the
+membership test happens once at construction, so a disabled category
+costs one boolean load per hook.  Sampling is activity-driven (see
+:mod:`repro.obs.probes`): hooks nudge the probe clock, nothing is ever
+scheduled into the simulation, and architectural results stay
+bit-identical to an unobserved run.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from ..engine.observer import NullObserver
+from .probes import ProbeSet, link_utilization_probe
+from .registry import MetricRegistry
+from .trace import Tracer
+
+#: Every category the instrumentation emits.
+TRACE_CATEGORIES = ("noc", "cache", "axi", "pcie", "bridge", "mem",
+                    "link", "kernel", "probe")
+
+_SEGMENT_EXPANSIONS = (
+    (re.compile(r"^n(\d+)$"), r"node\1"),
+    (re.compile(r"^t(\d+)$"), r"tile\1"),
+    (re.compile(r"^r(\d+)$"), r"router\1"),
+)
+
+
+def metric_path(component_name: str) -> str:
+    """A component's ``/``-separated name as a dotted metric path.
+
+    ``n0/t3/bpc`` becomes ``node0.tile3.bpc`` — the hierarchy the paper's
+    users think in, and the prefix every bound counter hangs off.  Dots
+    already present (gauge suffixes, per-direction link names) also
+    delimit segments.
+    """
+    segments = []
+    for segment in component_name.replace("/", ".").split("."):
+        for pattern, repl in _SEGMENT_EXPANSIONS:
+            expanded = pattern.sub(repl, segment)
+            if expanded != segment:
+                segment = expanded
+                break
+        segments.append(segment)
+    return ".".join(segments)
+
+
+class _TracedChannel:
+    """Kernel-category shim around a ConstLatencyChannel.
+
+    Installed by :meth:`Observer.wrap_channel` only when the ``kernel``
+    category is traced, so the un-traced fast path keeps its original
+    object (and its original performance) untouched.
+    """
+
+    __slots__ = ("_channel", "_tracer", "_sim", "_comp", "delay", "sink")
+
+    def __init__(self, sim, channel, tracer: Tracer):
+        self._channel = channel
+        self._tracer = tracer
+        self._sim = sim
+        sink = channel.sink
+        self._comp = "kernel/" + getattr(sink, "__qualname__",
+                                         repr(sink))
+        self.delay = channel.delay
+        self.sink = sink
+
+    def send(self, payload):
+        self._tracer.instant("kernel", self._comp, "send", self._sim.now)
+        return self._channel.send(payload)
+
+    def send_after(self, delay, payload):
+        self._tracer.instant("kernel", self._comp, "send_after",
+                             self._sim.now)
+        return self._channel.send_after(delay, payload)
+
+
+class Observer(NullObserver):
+    """Live observer: metrics registry + tracer + sampling probes."""
+
+    enabled = True
+
+    def __init__(self, categories: Optional[Sequence[str]] = None,
+                 ring_capacity: Optional[int] = 65536,
+                 sample_interval: int = 1000,
+                 tracing: bool = True) -> None:
+        self.registry = MetricRegistry()
+        self.tracer = Tracer(categories=categories,
+                             ring_capacity=ring_capacity) if tracing else None
+        self.probes = ProbeSet(tracer=self.tracer, interval=sample_interval)
+        tracer = self.tracer
+        self._want_noc = tracing and tracer.wants("noc")
+        self._want_cache = tracing and tracer.wants("cache")
+        self._want_axi = tracing and tracer.wants("axi")
+        self._want_pcie = tracing and tracer.wants("pcie")
+        self._want_bridge = tracing and tracer.wants("bridge")
+        self._want_mem = tracing and tracer.wants("mem")
+        self._want_link = tracing and tracer.wants("link")
+        self._want_kernel = tracing and tracer.wants("kernel")
+
+    # ------------------------------------------------------------------
+    # Construction-time registration
+    # ------------------------------------------------------------------
+    def register_gauge(self, name, fn):
+        path = metric_path(name)
+        self.registry.gauge(path, fn)
+        self.probes.add(path, fn)
+
+    def register_link(self, link):
+        path = metric_path(link.name)
+        # Lifetime average occupancy for the metrics dump...
+        stats, cpu = link.stats, link.cycles_per_unit
+
+        def lifetime_utilization() -> float:
+            now = link.sim.now
+            if not now:
+                return 0.0
+            return min(1.0, stats.get("units") * cpu / now)
+
+        self.registry.gauge(f"{path}.utilization", lifetime_utilization)
+        # ...and a windowed series for the heatmap/time-series charts.
+        self.probes.add(f"{path}.utilization", link_utilization_probe(link))
+
+    def bind_stats(self, prefix, group):
+        self.registry.bind_group(metric_path(prefix), group)
+
+    def wrap_channel(self, sim, channel):
+        if self._want_kernel:
+            return _TracedChannel(sim, channel, self.tracer)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def link_transfer(self, link, units, depart, arrival):
+        self.probes.maybe_sample(link.sim.now)
+        if self._want_link or (self._want_axi and link.category == "axi") \
+                or (self._want_pcie and link.category == "pcie") \
+                or (self._want_noc and link.category == "noc"):
+            self.tracer.complete(link.category, link.name, "xfer",
+                                 depart, max(arrival - depart, 1),
+                                 {"units": units})
+
+    def noc_inject(self, router, packet):
+        if self._want_noc:
+            self.tracer.instant("noc", router.name, "inject",
+                                router.sim.now,
+                                {"dst": str(packet.dst),
+                                 "ch": packet.channel.name})
+
+    def noc_hop(self, router, packet, from_direction):
+        now = router.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_noc:
+            self.tracer.instant("noc", router.name, "hop", now,
+                                {"from": from_direction.value,
+                                 "ch": packet.channel.name})
+
+    def noc_eject(self, router, packet):
+        now = router.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_noc:
+            born = packet.created_at
+            self.tracer.complete(
+                "noc", router.name, f"pkt.{packet.channel.name}",
+                born, now - born,
+                {"hops": packet.hops, "src": str(packet.src)})
+
+    def noc_offchip(self, router, packet):
+        if self._want_noc:
+            self.tracer.instant("noc", router.name, "offchip",
+                                router.sim.now, {"dst": str(packet.dst)})
+
+    def noc_credit_stall(self, router, direction, packet):
+        if self._want_noc:
+            self.tracer.instant("noc", router.name, "credit_stall",
+                                router.sim.now,
+                                {"dir": direction.value,
+                                 "ch": packet.channel.name})
+
+    def cache_op(self, cache, op):
+        now = cache.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_cache:
+            self.tracer.complete("cache", cache.name, op.kind.name.lower(),
+                                 op.issued_at, now - op.issued_at,
+                                 {"addr": f"{op.addr:#x}"})
+
+    def cache_miss(self, cache, line):
+        if self._want_cache:
+            self.tracer.instant("cache", cache.name, "miss",
+                                cache.sim.now, {"line": f"{line:#x}"})
+
+    def llc_txn(self, llc, line, started_at):
+        now = llc.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_cache:
+            self.tracer.complete("cache", llc.name, "txn", started_at,
+                                 now - started_at, {"line": f"{line:#x}"})
+
+    def axi_txn(self, port, kind, txn):
+        now = port.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_axi:
+            self.tracer.instant("axi", port.name, kind, now,
+                                {"addr": f"{txn.addr:#x}"})
+
+    def axi_route(self, crossbar, kind, txn, region):
+        if self._want_axi:
+            self.tracer.instant(
+                "axi", crossbar.name, f"route.{kind}", crossbar.sim.now,
+                {"region": region if region is not None else "DECERR"})
+
+    def pcie_transfer(self, fabric, src_node, dst_node, kind, units):
+        now = fabric.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_pcie:
+            self.tracer.instant("pcie", fabric.name, kind, now,
+                                {"src": src_node, "dst": dst_node,
+                                 "units": units})
+
+    def bridge_packet(self, bridge, packet):
+        if self._want_bridge:
+            self.tracer.instant("bridge", bridge.name, "tunnel",
+                                bridge.sim.now,
+                                {"dst": str(packet.dst),
+                                 "ch": packet.channel.name})
+
+    def bridge_credit_stall(self, bridge, key):
+        if self._want_bridge:
+            peer, channel = key
+            self.tracer.instant("bridge", bridge.name, "credit_stall",
+                                bridge.sim.now,
+                                {"peer": peer, "ch": channel.name})
+
+    def mem_retire(self, controller, kind, latency):
+        now = controller.sim.now
+        self.probes.maybe_sample(now)
+        if self._want_mem:
+            self.tracer.complete("mem", controller.name, kind,
+                                 now - latency, latency)
+
+    def mem_id_stall(self, controller, kind):
+        if self._want_mem:
+            self.tracer.instant("mem", controller.name, f"id_stall.{kind}",
+                                controller.sim.now)
+
+    def dram_access(self, dram, kind, delay, beats):
+        if self._want_mem:
+            self.tracer.complete("mem", dram.name, kind, dram.sim.now,
+                                 max(delay, 1), {"beats": beats})

@@ -1,0 +1,112 @@
+"""Sampling probes: periodic snapshots of fabric occupancy.
+
+A :class:`ProbeSet` holds named sources — callables returning a number —
+and records ``(cycle, value)`` pairs for each whenever :meth:`sample`
+runs.  The resulting time series feed the :mod:`repro.analysis`
+utilization charts and are mirrored into the tracer as Chrome counter
+events, so Perfetto draws them as counter tracks alongside the spans.
+
+Sampling is **activity-driven**, not event-scheduled: the observer calls
+:meth:`maybe_sample` from its hooks and a snapshot is taken the first
+time instrumented activity crosses each ``interval`` boundary.  The
+probe layer therefore never schedules simulator events — ``sim.now``,
+``events_executed``, and every architectural result stay bit-identical
+to an unobserved run, and a draining simulation can never be kept alive
+by its own sampler.
+
+Occupancy sources come in two flavours:
+
+* *state gauges* — read a live queue depth (MSHRs, bridge backlog,
+  DRAM engine queues) directly;
+* *flow probes* — :func:`link_utilization_probe` turns a link's
+  monotonically growing ``units`` counter into a per-window busy
+  fraction (units x cycles_per_unit / window).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..engine.link import Link
+from .trace import Tracer
+
+Source = Callable[[], float]
+
+
+def link_utilization_probe(link: Link) -> Source:
+    """A source yielding the link's busy fraction since its last sample.
+
+    Exact for serialization occupancy: ``units`` only grows when a
+    message occupies the link for ``units * cycles_per_unit`` cycles.
+    """
+    state = {"units": 0, "at": 0}
+
+    def sample() -> float:
+        now = link.sim.now
+        units = link.stats.get("units")
+        window = now - state["at"]
+        busy = (units - state["units"]) * link.cycles_per_unit
+        state["units"] = units
+        state["at"] = now
+        if window <= 0:
+            return 0.0
+        return min(1.0, busy / window)
+
+    return sample
+
+
+class ProbeSet:
+    """Named occupancy sources plus their sampled time series."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 interval: int = 1000) -> None:
+        if interval < 1:
+            raise ValueError(f"probe interval must be >= 1, got {interval}")
+        self.interval = interval
+        self._tracer = tracer
+        self._sources: List[Tuple[str, Source]] = []
+        self._series: Dict[str, List[Tuple[int, float]]] = {}
+        self._next_at = interval
+
+    def add(self, name: str, source: Source) -> None:
+        self._sources.append((name, source))
+        self._series[name] = []
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def due(self, now: int) -> bool:
+        return now >= self._next_at
+
+    def sample(self, now: int) -> None:
+        """Snapshot every source at cycle ``now``."""
+        tracer = self._tracer
+        for name, source in self._sources:
+            value = float(source())
+            self._series[name].append((now, value))
+            if tracer is not None:
+                tracer.counter("probe", name, name, now, {"value": value})
+        # Align the next due time to the interval grid so bursty activity
+        # cannot cause back-to-back snapshots.
+        self._next_at = now - now % self.interval + self.interval
+
+    def maybe_sample(self, now: int) -> None:
+        if now >= self._next_at:
+            self.sample(now)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def series(self, name: Optional[str] = None):
+        """Sampled ``[(cycle, value), ...]`` series (all, or one name)."""
+        if name is not None:
+            return list(self._series.get(name, ()))
+        return {key: list(points) for key, points in self._series.items()}
+
+    def latest(self) -> Dict[str, float]:
+        """The most recent sample of every source (CLI summary tables)."""
+        return {name: points[-1][1]
+                for name, points in self._series.items() if points}

@@ -1,0 +1,149 @@
+"""Hierarchically named metrics: counters, gauges, histograms.
+
+The registry does not duplicate accounting: component counters stay in
+their :class:`~repro.engine.stats.StatGroup`\\ s, and :meth:`MetricRegistry.
+bind_group` exports them *live* under a dotted prefix
+(``node0.tile3.bpc`` + the group's ``misses`` key gives the metric
+``node0.tile3.bpc.misses``).  Gauges are callables sampled at export
+time; registry-owned counters/histograms exist for obs-internal metrics
+that have no component home.
+
+Exports:
+
+* :meth:`to_dict` — flat ``name -> value`` JSON-safe dict; histograms
+  are embedded losslessly via :meth:`Histogram.to_dict` plus summary
+  fields, so a consumer can :meth:`Histogram.from_dict` and merge exact
+  distributions across processes.
+* :meth:`to_prometheus` — flat Prometheus-style text (names sanitized to
+  ``[a-zA-Z0-9_]``, histograms as ``_count``/``_sum``/quantile lines).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..engine.stats import Histogram, StatGroup
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Quantiles reported for every histogram in the Prometheus dump.
+QUANTILES = (50.0, 90.0, 99.0)
+
+
+def prom_name(name: str) -> str:
+    """A dotted metric path as a legal Prometheus metric name."""
+    return _SANITIZE.sub("_", name)
+
+
+class MetricRegistry:
+    """A tree of metrics addressed by dotted hierarchical names."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._groups: List[Tuple[str, StatGroup]] = []
+
+    # ------------------------------------------------------------------
+    # Registration and updates
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        counters = self._counters
+        if name in counters:
+            counters[name] += amount
+        else:
+            counters[name] = amount
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a live gauge; ``fn()`` is read at export/sample time."""
+        self._gauges[name] = fn
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        return hist
+
+    def bind_group(self, prefix: str, group: StatGroup) -> None:
+        """Export ``group``'s counters and histograms under ``prefix``.
+
+        The binding is live: values are read at export time, so binding
+        once at construction covers the whole run.
+        """
+        self._groups.append((prefix, group))
+
+    # ------------------------------------------------------------------
+    # Iteration (one flat view over every source)
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterable[Tuple[str, int]]:
+        for name, value in self._counters.items():
+            yield name, value
+        for prefix, group in self._groups:
+            for key, value in group.counters.items():
+                yield f"{prefix}.{key}", value
+
+    def gauges(self) -> Iterable[Tuple[str, float]]:
+        for name, fn in self._gauges.items():
+            yield name, fn()
+
+    def histograms(self) -> Iterable[Tuple[str, Histogram]]:
+        for name, hist in self._histograms.items():
+            yield name, hist
+        for prefix, group in self._groups:
+            for key, hist in group.histograms.items():
+                yield f"{prefix}.{key}", hist
+
+    def value(self, name: str) -> Optional[float]:
+        """Look up one counter or gauge by its dotted name (tests, CLI)."""
+        for metric, val in self.counters():
+            if metric == name:
+                return val
+        for metric, val in self.gauges():
+            if metric == name:
+                return val
+        return None
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Flat ``name -> value`` dict; histograms keep exact counts."""
+        out: Dict[str, object] = {}
+        for name, value in self.counters():
+            out[name] = value
+        for name, value in self.gauges():
+            out[name] = value
+        for name, hist in self.histograms():
+            entry = hist.to_dict()
+            entry.update(count=hist.count, mean=hist.mean,
+                         min=hist.min, max=hist.max)
+            out[name] = entry
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Flat Prometheus-style exposition text."""
+        lines: List[str] = []
+        for name, value in sorted(self.counters()):
+            metric = prom_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, value in sorted(self.gauges()):
+            metric = prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+        for name, hist in sorted(self.histograms(), key=lambda kv: kv[0]):
+            metric = prom_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            for q in QUANTILES:
+                quantile = hist.percentile(q)
+                if quantile is not None:
+                    lines.append(
+                        f"{metric}{{quantile=\"{q / 100:g}\"}} {quantile}")
+            lines.append(f"{metric}_sum {hist.mean * hist.count:g}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + "\n"

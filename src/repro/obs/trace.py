@@ -1,0 +1,167 @@
+"""Cycle-accurate event tracing with Chrome ``trace_event`` export.
+
+The tracer records typed events — *complete* spans (``ph="X"``: a flit
+hop occupying a link, a cache op lifetime, an AXI beat train, a PCIe
+transfer), *instants* (``ph="i"``: a credit stall, a miss issue), and
+*counters* (``ph="C"``: sampled occupancy series) — into per-component
+ring buffers.  Each record is a plain tuple, so the enabled hot path is
+one ``deque.append``.
+
+Export is the Chrome ``trace_event`` JSON object format, loadable
+directly in Perfetto / ``chrome://tracing``: one *thread* per component,
+one *process* per node-level prefix (``n0``, ``fabric``...), timestamps
+in prototype cycles (``displayTimeUnit`` left at microseconds — read
+1 us as 1 cycle).
+
+Memory is bounded in ring mode: ``ring_capacity`` caps events *per
+component*, keeping the tail of a long run instead of dying on it.
+``ring_capacity=None`` keeps everything.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ReproError
+
+#: Record layout: (ts, dur, ph, category, component, name, args)
+#: ``dur`` is 0 for instants; ``args`` is None or a small dict.
+_PH_COMPLETE = "X"
+_PH_INSTANT = "i"
+_PH_COUNTER = "C"
+
+
+class Tracer:
+    """Typed per-component event rings with category filtering."""
+
+    def __init__(self, categories: Optional[Sequence[str]] = None,
+                 ring_capacity: Optional[int] = 65536) -> None:
+        self._categories = None if categories is None else set(categories)
+        self._capacity = ring_capacity
+        self._rings: Dict[str, deque] = {}
+        self.dropped = 0     # events evicted by full rings (bounded mode)
+
+    def wants(self, category: str) -> bool:
+        """Category filter (checked once per hook at observer setup)."""
+        return self._categories is None or category in self._categories
+
+    def _ring(self, component: str) -> deque:
+        ring = self._rings.get(component)
+        if ring is None:
+            ring = self._rings[component] = deque(maxlen=self._capacity)
+        return ring
+
+    # ------------------------------------------------------------------
+    # Recording (enabled hot path: one append)
+    # ------------------------------------------------------------------
+    def complete(self, category: str, component: str, name: str,
+                 ts: int, dur: int, args: Optional[dict] = None) -> None:
+        ring = self._ring(component)
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((ts, dur, _PH_COMPLETE, category, name, args))
+
+    def instant(self, category: str, component: str, name: str,
+                ts: int, args: Optional[dict] = None) -> None:
+        ring = self._ring(component)
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((ts, 0, _PH_INSTANT, category, name, args))
+
+    def counter(self, category: str, component: str, name: str,
+                ts: int, values: dict) -> None:
+        ring = self._ring(component)
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((ts, 0, _PH_COUNTER, category, name, values))
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def event_count(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+    def events(self, component: Optional[str] = None) -> Iterable[tuple]:
+        """Raw records, optionally for one component (tests)."""
+        if component is not None:
+            return list(self._rings.get(component, ()))
+        out: List[tuple] = []
+        for ring in self._rings.values():
+            out.extend(ring)
+        return out
+
+    def _pid_of(self, component: str) -> str:
+        # Node-level grouping: "n0/t3/bpc" -> process "n0".
+        return component.split("/", 1)[0]
+
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable)."""
+        pids: Dict[str, int] = {}
+        events: List[dict] = []
+        meta: List[dict] = []
+        for tid, component in enumerate(sorted(self._rings), start=1):
+            process = self._pid_of(component)
+            pid = pids.setdefault(process, len(pids) + 1)
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": component}})
+            for ts, dur, ph, category, name, args in self._rings[component]:
+                event = {"name": name, "cat": category, "ph": ph,
+                         "ts": ts, "pid": pid, "tid": tid}
+                if ph == _PH_COMPLETE:
+                    event["dur"] = dur
+                if ph == _PH_INSTANT:
+                    event["s"] = "t"
+                if args is not None:
+                    event["args"] = args
+                events.append(event)
+        for process, pid in pids.items():
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": process}})
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "prototype-cycles",
+                          "dropped_events": self.dropped},
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+
+
+def validate_chrome_trace(source) -> dict:
+    """Schema-check a Chrome ``trace_event`` JSON file or dict.
+
+    Raises :class:`~repro.errors.ReproError` on any violation; returns
+    the parsed object.  Used by the obs tests and the CI artifact gate.
+    """
+    if isinstance(source, dict):
+        trace = source
+    else:
+        with open(source) as handle:
+            trace = json.load(handle)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ReproError("trace: missing traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ReproError("trace: traceEvents is not a list")
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ReproError(
+                    f"trace: event {index} missing required key {key!r}")
+        ph = event["ph"]
+        if ph not in ("X", "i", "C", "M", "B", "E"):
+            raise ReproError(f"trace: event {index} has unknown phase {ph!r}")
+        if ph != "M":
+            if "ts" not in event:
+                raise ReproError(f"trace: event {index} missing ts")
+            if not isinstance(event["ts"], (int, float)):
+                raise ReproError(f"trace: event {index} non-numeric ts")
+        if ph == "X" and "dur" not in event:
+            raise ReproError(f"trace: complete event {index} missing dur")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            raise ReproError(f"trace: counter event {index} missing args")
+    return trace
