@@ -4,12 +4,19 @@ Runs the real cycle-level prototype: 48x48 cache-line-transfer probes
 through the coherence fabric (intra-node over the NoC, inter-node through
 the AXI4/PCIe bridge).  The paper reports ~100-cycle intra-node and
 ~250-cycle inter-node round trips with four clearly visible NUMA domains.
+
+With ``REPRO_ARCHIVE=runs`` the sweep also persists a run archive at
+``runs/fig7-4x1x12`` — worker metric shards merged exactly, so the
+archive is byte-identical at any ``REPRO_JOBS``.
 """
 
+import os
 import statistics
+import time
 
 from repro import build
 from repro.analysis import block_summary, heatmap
+from repro.obs.archive import RunArchive, archive_root_from_env
 from repro.parallel import env_jobs
 
 
@@ -17,8 +24,19 @@ def measure_matrix():
     # REPRO_JOBS=N shards the 2304 probes across N workers; the matrix is
     # bit-identical at every worker count (repro.parallel contract).
     proto = build("4x1x12")
-    return (proto.latency_matrix(jobs=env_jobs()),
-            proto.config.tiles_per_node)
+    root = archive_root_from_env()
+    if root is None:
+        return (proto.latency_matrix(jobs=env_jobs()),
+                proto.config.tiles_per_node)
+    start = time.perf_counter()
+    matrix, metrics = proto.latency_matrix(jobs=env_jobs(),
+                                           with_metrics=True)
+    RunArchive.write(os.path.join(root, "fig7-4x1x12"), metrics,
+                     config=proto.config, label="4x1x12",
+                     wall_seconds=time.perf_counter() - start,
+                     extra={"figure": "fig7",
+                            "jobs": env_jobs()})
+    return matrix, proto.config.tiles_per_node
 
 
 def test_fig7_latency_heatmap(benchmark, report):

@@ -3,17 +3,35 @@
 The NUMA machine parameters (local/remote latency) are *measured* from
 the cycle-level 4x1x12 prototype, then fed into the phase-level IS model
 (the documented substitution for hours of full-Linux execution).
+
+``REPRO_ARCHIVE=runs`` persists the sweep's shard-merged metrics as a
+run archive at ``runs/fig8-4x1x12``.
 """
+
+import os
+import time
 
 from repro.analysis import line_series
 from repro.core.config import parse_config
+from repro.obs.archive import RunArchive, archive_root_from_env
 from repro.parallel import env_jobs, sharded_fig8_series
 
 
 def compute_fig8():
     # REPRO_JOBS=N shards the sweep one task per thread count; the result
     # is bit-identical to the serial run (see repro.parallel.osmodel).
-    return sharded_fig8_series(parse_config("4x1x12"), jobs=env_jobs())
+    config = parse_config("4x1x12")
+    root = archive_root_from_env()
+    if root is None:
+        return sharded_fig8_series(config, jobs=env_jobs())
+    start = time.perf_counter()
+    machine, series, metrics = sharded_fig8_series(
+        config, jobs=env_jobs(), with_metrics=True)
+    RunArchive.write(os.path.join(root, "fig8-4x1x12"), metrics,
+                     config=config, label="4x1x12",
+                     wall_seconds=time.perf_counter() - start,
+                     extra={"figure": "fig8", "jobs": env_jobs()})
+    return machine, series
 
 
 def test_fig8_numa_scaling(benchmark, report):

@@ -16,9 +16,12 @@ through the generic scheduler) and the two execution traces are compared
 bit-for-bit, as are the serial and parallel Fig. 7 matrices.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``, used by the per-push CI gate) runs
-only the fast-path storm plus the determinism checks and fails if
-throughput regresses more than 30% against the committed
-``BENCH_kernel.json`` baseline; it never rewrites the baseline.
+only the fast-path storm plus the determinism checks and writes the
+measured throughput to ``BENCH_kernel_smoke.json``; the regression
+verdict itself lives in CI as ``repro diff --gate
+benchmarks/kernel_gate.json BENCH_kernel_smoke.json`` against the
+committed baseline (30% one-sided tolerance: only slowdowns fail).
+Smoke mode never rewrites ``BENCH_kernel.json``.
 """
 
 import heapq
@@ -194,8 +197,10 @@ def _fig7_matrix(jobs, fast_path=True):
 
 def test_kernel_throughput(benchmark, report):
     if SMOKE:
-        # Per-push CI gate: fast-path throughput within 30% of the
-        # committed baseline, plus the bit-identity checks.  Never
+        # Per-push CI smoke: the fast-path storm plus the bit-identity
+        # checks.  Writes the measurement to BENCH_kernel_smoke.json; the
+        # regression verdict is CI's `repro diff --gate
+        # benchmarks/kernel_gate.json` step, not an assert here.  Never
         # rewrites BENCH_kernel.json.
         baseline = json.loads((REPO_ROOT / "BENCH_kernel.json").read_text())
         eps = benchmark.pedantic(
@@ -203,15 +208,15 @@ def test_kernel_throughput(benchmark, report):
             kwargs={"rounds": 2}, iterations=1, rounds=1)
         assert _fast_path_trace_identical(), \
             "fast-path trace differs from generic-path trace"
-        floor = 0.7 * baseline["new_kernel_events_per_sec"]
+        (REPO_ROOT / "BENCH_kernel_smoke.json").write_text(json.dumps(
+            {"new_kernel_events_per_sec": round(eps)}, indent=2) + "\n")
         report("kernel_throughput", "\n".join([
             f"smoke: fast path {eps:,.0f} events/s "
-            f"(baseline {baseline['new_kernel_events_per_sec']:,}, "
-            f"floor {floor:,.0f})",
+            f"(committed baseline "
+            f"{baseline['new_kernel_events_per_sec']:,}; gated by "
+            f"`repro diff --gate benchmarks/kernel_gate.json "
+            f"BENCH_kernel_smoke.json`)",
         ]))
-        assert eps >= floor, (
-            f"fast-path storm {eps:,.0f} ev/s regressed >30% vs committed "
-            f"baseline {baseline['new_kernel_events_per_sec']:,} ev/s")
         return
 
     # Interleave the three kernels round by round so load spikes hit all

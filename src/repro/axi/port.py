@@ -48,7 +48,8 @@ class AxiPort(Component):
                                category="axi")
         self._write_waiters: Dict[int, WriteCallback] = {}
         self._read_waiters: Dict[int, ReadCallback] = {}
-        sim.obs.register_gauge(f"{name}.outstanding", lambda: self.outstanding)
+        sim.obs.register_gauge(f"{name}.outstanding", lambda: self.outstanding,
+                               category="axi")
 
     # ------------------------------------------------------------------
     # Master-side API

@@ -83,7 +83,8 @@ class Bpc(Component):
         # single-payload sends.
         self._lookup_lane = sim.channel(hit_latency, self._lookup)
         self._replay_lane = sim.channel(0, self._lookup)
-        sim.obs.register_gauge(f"{name}.mshrs", self._mshrs.__len__)
+        sim.obs.register_gauge(f"{name}.mshrs", self._mshrs.__len__,
+                               category="cache")
 
     def set_l1_invalidate(self, callback: Callable[[int], None]) -> None:
         """L1 shootdown hook: called with a line address on Inv/eviction."""

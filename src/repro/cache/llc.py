@@ -89,7 +89,8 @@ class LlcSlice(Component):
         # redispatch of a request queued behind a completed transaction.
         self._dispatch_lane = sim.channel(access_latency, self._dispatch)
         self._redispatch_lane = sim.channel(0, self._dispatch)
-        sim.obs.register_gauge(f"{name}.busy_lines", self._active.__len__)
+        sim.obs.register_gauge(f"{name}.busy_lines", self._active.__len__,
+                               category="cache")
 
     # ------------------------------------------------------------------
     # NoC entry points

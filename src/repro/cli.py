@@ -12,6 +12,7 @@ simulation::
     python -m repro cost                   # Fig.-13 cost table
     python -m repro trace 2x1x2            # Perfetto trace + metrics bundle
     python -m repro stats 2x1x2            # Prometheus-style metrics dump
+    python -m repro diff runs/a runs/b     # cross-run metric deltas / gate
 """
 
 from __future__ import annotations
@@ -20,9 +21,10 @@ import argparse
 import json
 import statistics
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
-from . import build, parse_config
+from . import Prototype, build, parse_config
 from .analysis import render_table
 from .cost import FIG13_TOOLS, benchmark_costs, suite_costs
 from .errors import ReproError
@@ -154,23 +156,77 @@ def _drive_probes(proto) -> None:
         proto.measure_pair_latency(0, receiver)
 
 
+def _parse_intervals(text: Optional[str]) -> Optional[Dict[str, int]]:
+    """``"noc=64,mem=256"`` → per-category probe intervals."""
+    if not text:
+        return None
+    intervals: Dict[str, int] = {}
+    for part in text.split(","):
+        category, _, value = part.partition("=")
+        if not category or not value:
+            raise ReproError(
+                f"--sample-intervals expects CAT=CYCLES[,CAT=CYCLES], "
+                f"got {part!r}")
+        try:
+            intervals[category.strip()] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--sample-intervals: {value!r} is not an integer")
+    return intervals
+
+
+def _write_archive(args, config, metrics, *, cycles=None,
+                   events_executed=None, wall_seconds=None,
+                   series=None) -> None:
+    from .obs import RunArchive
+    archive = RunArchive.write(
+        args.archive, metrics, config=config, cycles=cycles,
+        events_executed=events_executed, wall_seconds=wall_seconds,
+        series=series, command=["repro"] + sys.argv[1:]
+        if sys.argv[0].endswith(("repro", "__main__.py")) else None)
+    print(f"archived run {archive.run_id} under {archive.path}")
+
+
 def cmd_trace(args) -> int:
-    from .obs import Observer, validate_chrome_trace
+    from .obs import (Observer, StreamingTracer, chrome_from_jsonl,
+                      validate_chrome_trace)
     categories = args.categories.split(",") if args.categories else None
-    obs = Observer(categories=categories,
-                   ring_capacity=args.ring_capacity or None,
-                   sample_interval=args.sample_interval)
-    proto = build(args.config, obs=obs)
+    intervals = _parse_intervals(args.sample_intervals)
+    if args.stream:
+        tracer = StreamingTracer(args.out, categories=categories)
+        obs = Observer(tracer=tracer,
+                       sample_interval=args.sample_interval,
+                       sample_intervals=intervals)
+    else:
+        obs = Observer(categories=categories,
+                       ring_capacity=args.ring_capacity or None,
+                       sample_interval=args.sample_interval,
+                       sample_intervals=intervals)
+    config = parse_config(args.config, seed=args.seed)
+    start = time.perf_counter()
+    proto = Prototype(config, obs=obs)
     _drive_probes(proto)
-    obs.tracer.write(args.out)
-    validate_chrome_trace(args.out)
+    wall = time.perf_counter() - start
+    event_count = obs.tracer.event_count()
+    obs.close()
+    if args.stream:
+        validate_chrome_trace(chrome_from_jsonl(args.out))
+    else:
+        obs.tracer.write(args.out)
+        validate_chrome_trace(args.out)
+    metrics = obs.export_metrics()
     bundle = {"config": args.config,
               "cycles": proto.now,
-              "metrics": obs.registry.to_dict(),
+              "metrics": metrics,
               "series": obs.probes.series()}
     with open(args.metrics, "w") as handle:
         json.dump(bundle, handle, indent=2, sort_keys=True)
-    print(f"wrote {obs.tracer.event_count()} trace events to {args.out} "
+    if args.archive:
+        _write_archive(args, config, metrics, cycles=proto.now,
+                       events_executed=proto.sim.events_executed,
+                       wall_seconds=wall, series=obs.probes.series())
+    kind = "streamed" if args.stream else "wrote"
+    print(f"{kind} {event_count} trace events to {args.out} "
           f"(open in https://ui.perfetto.dev)")
     print(f"wrote metrics bundle to {args.metrics} "
           f"({proto.now} cycles simulated, "
@@ -180,13 +236,102 @@ def cmd_trace(args) -> int:
 
 def cmd_stats(args) -> int:
     from .obs import Observer
-    obs = Observer(tracing=False, sample_interval=args.sample_interval)
-    proto = build(args.config, obs=obs)
-    _drive_probes(proto)
-    if args.format == "json":
-        print(obs.registry.to_json())
+    intervals = _parse_intervals(args.sample_intervals)
+    config = parse_config(args.config, seed=args.seed)
+    start = time.perf_counter()
+    if args.jobs is not None:
+        # Sharded sweep: per-worker observers, shard dicts merged exactly
+        # (byte-identical at any worker count).
+        from .parallel import sharded_latency_matrix
+        obs_spec = {"sample_interval": args.sample_interval,
+                    "sample_intervals": intervals}
+        _matrix, metrics = sharded_latency_matrix(
+            config, jobs=args.jobs, with_metrics=True, obs_spec=obs_spec)
+        cycles = events = None
+        series = None
     else:
-        print(obs.registry.to_prometheus(), end="")
+        obs = Observer(tracing=False, sample_interval=args.sample_interval,
+                       sample_intervals=intervals)
+        proto = Prototype(config, obs=obs)
+        _drive_probes(proto)
+        metrics = obs.export_metrics()
+        cycles, events = proto.now, proto.sim.events_executed
+        series = obs.probes.series()
+    wall = time.perf_counter() - start
+    if args.format == "json":
+        text = json.dumps(metrics, indent=2, sort_keys=True)
+    else:
+        registry = _registry_from_dict(metrics)
+        text = registry.to_prometheus().rstrip("\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.format} metrics to {args.output}")
+    else:
+        print(text)
+    if args.archive:
+        _write_archive(args, config, metrics, cycles=cycles,
+                       events_executed=events, wall_seconds=wall,
+                       series=series)
+    return 0
+
+
+def _registry_from_dict(metrics: Dict[str, object]):
+    """Rebuild a registry from a flat metrics dict (for Prometheus text
+    of merged shard dumps, which exist only as dicts)."""
+    from .engine import Histogram
+    from .obs import MetricRegistry
+    registry = MetricRegistry()
+    for name, value in metrics.items():
+        if isinstance(value, dict) and "counts" in value:
+            registry.histogram(name).merge(Histogram.from_dict(value))
+        elif isinstance(value, float):
+            registry.gauge(name, lambda value=value: value)
+        else:
+            registry.inc(name, int(value))
+    return registry
+
+
+def cmd_diff(args) -> int:
+    from .obs import diff as diff_mod
+    rules = [diff_mod.Rule("*", abs_tol=args.abs_tol,
+                           rel_tol=args.rel_tol)]
+    if args.gate:
+        if args.run_b is not None:
+            raise ReproError(
+                "diff --gate BASELINE takes one run (the current one)")
+        if args.run_a is None:
+            raise ReproError("diff --gate BASELINE needs a run to check")
+        metrics_a, gate_rule_list = diff_mod.gate_rules(args.gate)
+        rules = gate_rule_list if not args.rule else rules
+        metrics_b = diff_mod.load_metrics(args.run_a)
+    else:
+        if args.run_a is None or args.run_b is None:
+            raise ReproError("diff needs two runs (or --gate BASELINE RUN)")
+        metrics_a = diff_mod.load_metrics(args.run_a)
+        metrics_b = diff_mod.load_metrics(args.run_b)
+    for text in args.rule:
+        rules.append(diff_mod.parse_rule(text))
+    deltas = diff_mod.diff_metrics(metrics_a, metrics_b, rules,
+                                   gate=bool(args.gate))
+    bad = diff_mod.violations(deltas)
+    if args.format == "json":
+        text = json.dumps([delta.as_dict() for delta in deltas
+                           if not delta.ok or not args.only_violations],
+                          indent=2)
+    else:
+        text = diff_mod.render_diff(deltas,
+                                    only_violations=args.only_violations)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote diff to {args.output}")
+    else:
+        print(text)
+    if bad:
+        print(f"error: {len(bad)} metric(s) outside tolerance",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -241,8 +386,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace", help="run traced latency probes; emit a Perfetto-loadable "
                       "Chrome trace plus a metrics bundle")
     trace.add_argument("config", nargs="?", default="2x1x2")
-    trace.add_argument("--out", default="trace.json",
-                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--out", "--output", dest="out",
+                       default="trace.json",
+                       help="trace output path (Chrome trace_event JSON, "
+                            "or JSONL with --stream; .gz gzips)")
+    trace.add_argument("--stream", action="store_true",
+                       help="stream events to newline-delimited JSON in "
+                            "bounded chunks instead of ring buffers "
+                            "(for runs too long for any ring)")
     trace.add_argument("--metrics", default="metrics.json",
                        help="metrics + probe-series bundle output path")
     trace.add_argument("--categories", default=None, metavar="CAT,CAT",
@@ -251,20 +402,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace.add_argument("--ring-capacity", type=int, default=65536,
                        metavar="N",
                        help="max trace events kept per component "
-                            "(0 = unbounded)")
+                            "(0 = unbounded; ignored with --stream)")
     trace.add_argument("--sample-interval", type=int, default=1000,
                        metavar="CYCLES",
                        help="probe sampling interval in cycles")
+    trace.add_argument("--sample-intervals", default=None,
+                       metavar="CAT=CYCLES,..",
+                       help="per-category probe intervals, e.g. "
+                            "noc=64,mem=256 (others use "
+                            "--sample-interval)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="simulation seed (determinism gates)")
+    trace.add_argument("--archive", default=None, metavar="DIR",
+                       help="also persist the run archive at DIR "
+                            "(e.g. runs/a)")
     trace.set_defaults(func=cmd_trace)
 
     stats = subparsers.add_parser(
         "stats", help="run latency probes with metrics only; print the "
                       "registry as Prometheus text or JSON")
     stats.add_argument("config", nargs="?", default="2x1x2")
-    stats.add_argument("--format", choices=("prom", "json"), default="prom")
+    stats.add_argument("--format", choices=("prom", "json"), default="prom",
+                       help="output format (default: prom)")
+    stats.add_argument("--output", default=None, metavar="PATH",
+                       help="write the dump to PATH instead of stdout")
     stats.add_argument("--sample-interval", type=int, default=1000,
                        metavar="CYCLES")
+    stats.add_argument("--sample-intervals", default=None,
+                       metavar="CAT=CYCLES,..",
+                       help="per-category probe intervals, e.g. "
+                            "noc=64,mem=256")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="simulation seed")
+    stats.add_argument("--jobs", type=_jobs_count, default=None,
+                       metavar="N",
+                       help="run the sharded Fig. 7 sweep instead of the "
+                            "single probe row and merge per-worker "
+                            "metrics exactly (0 = one per CPU)")
+    stats.add_argument("--archive", default=None, metavar="DIR",
+                       help="also persist the run archive at DIR "
+                            "(e.g. runs/a)")
     stats.set_defaults(func=cmd_stats)
+
+    diff = subparsers.add_parser(
+        "diff", help="compare two archived runs metric-by-metric, or "
+                     "gate one run against a committed baseline")
+    diff.add_argument("run_a", nargs="?", default=None,
+                      help="run archive dir, metrics bundle, or flat "
+                           "metrics JSON")
+    diff.add_argument("run_b", nargs="?", default=None,
+                      help="second run (omit with --gate)")
+    diff.add_argument("--gate", default=None, metavar="BASELINE",
+                      help="baseline JSON with embedded tolerance rules; "
+                           "checks only the metrics the baseline lists")
+    diff.add_argument("--rel-tol", type=float, default=0.0,
+                      metavar="FRACTION",
+                      help="default relative tolerance (e.g. 0.05 = 5%%)")
+    diff.add_argument("--abs-tol", type=float, default=0.0,
+                      metavar="DELTA",
+                      help="default absolute tolerance")
+    diff.add_argument("--rule", action="append", default=[],
+                      metavar="PATTERN[:REL[:ABS[:DIR]]]",
+                      help="per-metric tolerance override (repeatable; "
+                           "last match wins; DIR is both/lower/upper)")
+    diff.add_argument("--only-violations", action="store_true",
+                      help="print only metrics outside tolerance")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    diff.add_argument("--output", default=None, metavar="PATH",
+                      help="write the report to PATH instead of stdout")
+    diff.set_defaults(func=cmd_diff)
 
     args = parser.parse_args(argv)
     try:

@@ -192,7 +192,8 @@ class Prototype:
         return cycles
 
     def latency_matrix(self, probes_per_pair: int = 1,
-                       jobs: Optional[int] = None) -> List[List[int]]:
+                       jobs: Optional[int] = None,
+                       with_metrics: bool = False):
         """Full Fig. 7 heatmap: total_tiles x total_tiles round trips.
 
         With ``jobs=None`` every probe runs in-place on this prototype
@@ -201,8 +202,16 @@ class Prototype:
         sender-row shards on fresh prototypes — serially for ``jobs=1``,
         across a process pool for ``jobs>1``, one worker per CPU for
         ``jobs=0`` — with bit-identical results at every worker count.
+
+        ``with_metrics=True`` (sharded path only) returns ``(matrix,
+        merged_metrics)``: every worker attaches a metrics-only observer
+        and the shard dicts merge exactly, so the sweep archives the same
+        observability at any worker count.
         """
         if jobs is None:
+            if with_metrics:
+                raise ConfigError(
+                    "with_metrics requires the sharded path; pass jobs=")
             size = self.config.total_tiles
             matrix = [[0] * size for _ in range(size)]
             probe = 0
@@ -217,7 +226,7 @@ class Prototype:
             return matrix
         from ..parallel import sharded_latency_matrix
         return sharded_latency_matrix(self.config, probes_per_pair,
-                                      jobs=jobs)
+                                      jobs=jobs, with_metrics=with_metrics)
 
     # ------------------------------------------------------------------
     # Reporting

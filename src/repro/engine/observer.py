@@ -39,8 +39,12 @@ class NullObserver:
     # ------------------------------------------------------------------
     # Construction-time registration (cold path)
     # ------------------------------------------------------------------
-    def register_gauge(self, name, fn):
-        """Expose ``fn()`` as a live gauge (and sampled probe source)."""
+    def register_gauge(self, name, fn, category="gauge"):
+        """Expose ``fn()`` as a live gauge (and sampled probe source).
+
+        ``category`` names the subsystem (``noc``, ``mem``, ``cache``...)
+        so the enabled observer can sample it on a per-category interval.
+        """
 
     def register_link(self, link):
         """Track a Link for occupancy sampling."""
@@ -52,6 +56,10 @@ class NullObserver:
         """Optionally wrap a ConstLatencyChannel for kernel-event tracing;
         the null observer returns it untouched."""
         return channel
+
+    def flush(self):
+        """Spill any buffered trace output (streaming backends); called
+        by the simulator when a drain completes."""
 
     # ------------------------------------------------------------------
     # Event hooks (hot paths; all no-ops here)

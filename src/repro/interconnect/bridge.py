@@ -65,7 +65,8 @@ class InterNodeBridge(Component):
         network.set_bridge_sink(self.send_packet)
         fabric.register(node_id, self)
         sim.obs.register_gauge(f"{name}.queued_packets",
-                               lambda: self.queued_packets)
+                               lambda: self.queued_packets,
+                               category="bridge")
 
     # ------------------------------------------------------------------
     # Outbound path

@@ -73,11 +73,13 @@ class NocAxiMemoryController(Component):
         self.egress_latency = egress_latency
         self._read_engine = _Engine(ids_per_engine)
         self._write_engine = _Engine(ids_per_engine)
-        sim.obs.register_gauge(f"{name}.inflight", lambda: self.inflight)
+        sim.obs.register_gauge(f"{name}.inflight", lambda: self.inflight,
+                               category="mem")
         sim.obs.register_gauge(
             f"{name}.queued",
             lambda: len(self._read_engine.queue) + len(
-                self._write_engine.queue))
+                self._write_engine.queue),
+            category="mem")
 
     # ------------------------------------------------------------------
     # NoC side

@@ -33,7 +33,8 @@ class Dram(Component):
         self.cycles_per_beat = cycles_per_beat
         self.banks = banks
         self._bank_free_at = [0] * banks
-        sim.obs.register_gauge(f"{name}.bank_backlog", self._bank_backlog)
+        sim.obs.register_gauge(f"{name}.bank_backlog", self._bank_backlog,
+                               category="mem")
 
     def _bank_backlog(self) -> int:
         """Cycles of already-committed work across all banks (gauge)."""

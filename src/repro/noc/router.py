@@ -69,7 +69,8 @@ class Router(Component):
         # the credit-return target baked in (built in connect_neighbor).
         self._inject_lane = sim.channel(hop_latency, self._dispatch)
         self._hop_lanes: Dict[Direction, object] = {}
-        sim.obs.register_gauge(f"{name}.credit_wait", self._credit_wait_depth)
+        sim.obs.register_gauge(f"{name}.credit_wait", self._credit_wait_depth,
+                               category="noc")
 
     def _credit_wait_depth(self) -> int:
         """Packets parked across all ports waiting for a credit (gauge)."""

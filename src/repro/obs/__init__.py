@@ -19,23 +19,46 @@ introspection layer over the simulated fabric:
   surface (:class:`~repro.engine.observer.NullObserver`), threaded
   through every modeled subsystem.  The default :data:`~repro.engine.
   observer.NO_OBS` keeps the disabled path branch-free and within noise.
+* :class:`StreamingTracer` — the same recording surface spilled to
+  (optionally gzipped) JSONL in bounded chunks, for runs too long for
+  any ring (``repro trace --stream``).
+* :class:`RunArchive` (:mod:`repro.obs.archive`) — the persisted
+  ``runs/<run_id>/`` directory format (manifest + metrics + probe
+  series) with exact shard merging for parallel sweeps.
+* :mod:`repro.obs.diff` — the cross-run diff/regression engine behind
+  ``repro diff`` and the CI gate (``repro diff --gate``).
 
 Observers never mutate model state and never schedule events (sampling
 piggybacks on instrumented activity), so enabling observability cannot
 change any architectural result bit — asserted by tests/test_obs.py.
 """
 
+from .archive import RunArchive, config_hash, merge_metric_shards
+from .diff import (Rule, diff_metrics, gate_rules, load_metrics,
+                   render_diff, violations)
 from .observer import Observer, TRACE_CATEGORIES
 from .probes import ProbeSet, link_utilization_probe
 from .registry import MetricRegistry
-from .trace import Tracer, validate_chrome_trace
+from .trace import (StreamingTracer, Tracer, chrome_from_jsonl,
+                    validate_chrome_trace)
 
 __all__ = [
     "MetricRegistry",
     "Observer",
     "ProbeSet",
+    "Rule",
+    "RunArchive",
+    "StreamingTracer",
     "TRACE_CATEGORIES",
     "Tracer",
+    "chrome_from_jsonl",
+    "config_hash",
+    "diff_metrics",
+    "gate_rules",
     "link_utilization_probe",
+    "load_metrics",
+    "merge_metric_shards",
+    "render_diff",
     "validate_chrome_trace",
+    "violations",
 ]

@@ -88,19 +88,32 @@ class _TracedChannel:
 
 
 class Observer(NullObserver):
-    """Live observer: metrics registry + tracer + sampling probes."""
+    """Live observer: metrics registry + tracer + sampling probes.
+
+    ``tracer`` injects a pre-built recording backend — typically a
+    :class:`~repro.obs.trace.StreamingTracer` for runs too long for ring
+    buffers; the default builds a ring :class:`Tracer` (or none with
+    ``tracing=False``).  ``sample_intervals`` sets per-category probe
+    sampling intervals (``{"noc": 64, "mem": 256}``); categories not
+    listed use ``sample_interval``.
+    """
 
     enabled = True
 
     def __init__(self, categories: Optional[Sequence[str]] = None,
                  ring_capacity: Optional[int] = 65536,
                  sample_interval: int = 1000,
-                 tracing: bool = True) -> None:
+                 sample_intervals: Optional[dict] = None,
+                 tracing: bool = True,
+                 tracer=None) -> None:
         self.registry = MetricRegistry()
-        self.tracer = Tracer(categories=categories,
-                             ring_capacity=ring_capacity) if tracing else None
-        self.probes = ProbeSet(tracer=self.tracer, interval=sample_interval)
-        tracer = self.tracer
+        if tracer is None and tracing:
+            tracer = Tracer(categories=categories,
+                            ring_capacity=ring_capacity)
+        self.tracer = tracer
+        self.probes = ProbeSet(tracer=self.tracer, interval=sample_interval,
+                               intervals=sample_intervals)
+        tracing = tracer is not None
         self._want_noc = tracing and tracer.wants("noc")
         self._want_cache = tracing and tracer.wants("cache")
         self._want_axi = tracing and tracer.wants("axi")
@@ -113,10 +126,10 @@ class Observer(NullObserver):
     # ------------------------------------------------------------------
     # Construction-time registration
     # ------------------------------------------------------------------
-    def register_gauge(self, name, fn):
+    def register_gauge(self, name, fn, category="gauge"):
         path = metric_path(name)
         self.registry.gauge(path, fn)
-        self.probes.add(path, fn)
+        self.probes.add(path, fn, category=category)
 
     def register_link(self, link):
         path = metric_path(link.name)
@@ -130,8 +143,10 @@ class Observer(NullObserver):
             return min(1.0, stats.get("units") * cpu / now)
 
         self.registry.gauge(f"{path}.utilization", lifetime_utilization)
-        # ...and a windowed series for the heatmap/time-series charts.
-        self.probes.add(f"{path}.utilization", link_utilization_probe(link))
+        # ...and a windowed series for the heatmap/time-series charts,
+        # sampled on the link's own category interval (noc/axi/pcie).
+        self.probes.add(f"{path}.utilization", link_utilization_probe(link),
+                        category=link.category)
 
     def bind_stats(self, prefix, group):
         self.registry.bind_group(metric_path(prefix), group)
@@ -140,6 +155,36 @@ class Observer(NullObserver):
         if self._want_kernel:
             return _TracedChannel(sim, channel, self.tracer)
         return channel
+
+    # ------------------------------------------------------------------
+    # Export / lifecycle
+    # ------------------------------------------------------------------
+    def export_metrics(self):
+        """The registry dump plus the tracer's drop accounting.
+
+        This is what run archives persist and sweep workers return:
+        :meth:`MetricRegistry.to_dict` extended with ``obs.trace.dropped``
+        (total ring evictions) and one ``obs.trace.dropped.<component>``
+        counter per truncated ring, so a partial trace is visible in the
+        archive instead of silently passing for a complete one.
+        """
+        out = self.registry.to_dict()
+        tracer = self.tracer
+        if tracer is not None:
+            out["obs.trace.dropped"] = tracer.dropped
+            for component, count in sorted(
+                    tracer.dropped_by_component().items()):
+                out[f"obs.trace.dropped.{metric_path(component)}"] = count
+        return out
+
+    def flush(self):
+        """Push buffered trace chunks to disk (streaming backends)."""
+        if self.tracer is not None:
+            self.tracer.flush()
+
+    def close(self):
+        if self.tracer is not None:
+            self.tracer.close()
 
     # ------------------------------------------------------------------
     # Event hooks

@@ -14,6 +14,15 @@ probe layer therefore never schedules simulator events — ``sim.now``,
 to an unobserved run, and a draining simulation can never be kept alive
 by its own sampler.
 
+Sources are grouped by *category* (the subsystem that registered them:
+``noc``, ``mem``, ``cache``...), and each category can sample on its own
+interval — ``ProbeSet(interval=1000, intervals={"noc": 64, "mem":
+256})`` snapshots NoC occupancy every 64 cycles of activity while DRAM
+backlogs tick at 256 and everything else at the 1000-cycle default.
+Categories keep independent next-due cycles aligned to their own
+interval grid; a single cheap ``now < min_due`` check keeps the hook-path
+cost flat no matter how many categories exist.
+
 Occupancy sources come in two flavours:
 
 * *state gauges* — read a live queue depth (MSHRs, bridge backlog,
@@ -31,6 +40,11 @@ from ..engine.link import Link
 from .trace import Tracer
 
 Source = Callable[[], float]
+
+#: Category used when a source is added without one.
+DEFAULT_CATEGORY = "default"
+
+_NEVER = float("inf")
 
 
 def link_utilization_probe(link: Link) -> Source:
@@ -55,47 +69,89 @@ def link_utilization_probe(link: Link) -> Source:
     return sample
 
 
+class _Category:
+    """One sampling group: its sources, interval, and next due cycle."""
+
+    __slots__ = ("interval", "next_at", "sources")
+
+    def __init__(self, interval: int) -> None:
+        self.interval = interval
+        self.next_at = interval
+        self.sources: List[Tuple[str, Source]] = []
+
+
 class ProbeSet:
     """Named occupancy sources plus their sampled time series."""
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 interval: int = 1000) -> None:
+                 interval: int = 1000,
+                 intervals: Optional[Dict[str, int]] = None) -> None:
         if interval < 1:
             raise ValueError(f"probe interval must be >= 1, got {interval}")
+        for category, value in (intervals or {}).items():
+            if value < 1:
+                raise ValueError(
+                    f"probe interval for {category!r} must be >= 1, "
+                    f"got {value}")
         self.interval = interval
+        self.intervals = dict(intervals or {})
         self._tracer = tracer
-        self._sources: List[Tuple[str, Source]] = []
+        self._categories: Dict[str, _Category] = {}
         self._series: Dict[str, List[Tuple[int, float]]] = {}
-        self._next_at = interval
+        self._min_due = _NEVER
 
-    def add(self, name: str, source: Source) -> None:
-        self._sources.append((name, source))
+    def add(self, name: str, source: Source,
+            category: str = DEFAULT_CATEGORY) -> None:
+        group = self._categories.get(category)
+        if group is None:
+            interval = self.intervals.get(category, self.interval)
+            group = self._categories[category] = _Category(interval)
+            if group.next_at < self._min_due:
+                self._min_due = group.next_at
+        group.sources.append((name, source))
         self._series[name] = []
 
     def __len__(self) -> int:
-        return len(self._sources)
+        return sum(len(group.sources)
+                   for group in self._categories.values())
+
+    def interval_of(self, category: str) -> int:
+        """The sampling interval governing ``category``."""
+        return self.intervals.get(category, self.interval)
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def due(self, now: int) -> bool:
-        return now >= self._next_at
+        return now >= self._min_due
 
-    def sample(self, now: int) -> None:
-        """Snapshot every source at cycle ``now``."""
+    def _snapshot(self, group: _Category, now: int) -> None:
         tracer = self._tracer
-        for name, source in self._sources:
+        for name, source in group.sources:
             value = float(source())
             self._series[name].append((now, value))
             if tracer is not None:
                 tracer.counter("probe", name, name, now, {"value": value})
-        # Align the next due time to the interval grid so bursty activity
-        # cannot cause back-to-back snapshots.
-        self._next_at = now - now % self.interval + self.interval
+        # Align the next due time to the category's interval grid so
+        # bursty activity cannot cause back-to-back snapshots.
+        group.next_at = now - now % group.interval + group.interval
+
+    def sample(self, now: int) -> None:
+        """Snapshot every source of every category at cycle ``now``."""
+        for group in self._categories.values():
+            self._snapshot(group, now)
+        self._min_due = min((group.next_at
+                             for group in self._categories.values()),
+                            default=_NEVER)
 
     def maybe_sample(self, now: int) -> None:
-        if now >= self._next_at:
-            self.sample(now)
+        if now < self._min_due:
+            return
+        for group in self._categories.values():
+            if now >= group.next_at:
+                self._snapshot(group, now)
+        self._min_due = min(group.next_at
+                            for group in self._categories.values())
 
     # ------------------------------------------------------------------
     # Reporting

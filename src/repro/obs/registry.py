@@ -126,18 +126,33 @@ class MetricRegistry:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Flat Prometheus-style exposition text."""
+        """Flat Prometheus-style exposition text.
+
+        Sanitization can collide (``a.b`` and ``a->b`` both map to
+        ``a__b``-style names); a second claim on a taken name gets a
+        deterministic ``_2``/``_3``... suffix instead of emitting the
+        duplicate TYPE lines Prometheus rejects.  Empty histograms emit
+        their ``_sum 0`` / ``_count 0`` lines with no quantiles.
+        """
+        used: Dict[str, int] = {}
+
+        def claim(name: str) -> str:
+            metric = prom_name(name)
+            seen = used.get(metric, 0)
+            used[metric] = seen + 1
+            return metric if not seen else f"{metric}_{seen + 1}"
+
         lines: List[str] = []
         for name, value in sorted(self.counters()):
-            metric = prom_name(name)
+            metric = claim(name)
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {value}")
         for name, value in sorted(self.gauges()):
-            metric = prom_name(name)
+            metric = claim(name)
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {value}")
         for name, hist in sorted(self.histograms(), key=lambda kv: kv[0]):
-            metric = prom_name(name)
+            metric = claim(name)
             lines.append(f"# TYPE {metric} summary")
             for q in QUANTILES:
                 quantile = hist.percentile(q)

@@ -32,22 +32,31 @@ from .runner import resolve_jobs, run_tasks, task_seed
 #: One sweep point: (thread count, active-node count or None for "all").
 SweepPoint = Tuple[int, Optional[int]]
 
-#: A worker task: (config, sweep points, IS model params, derived seed).
-ModelTask = Tuple[object, Tuple[SweepPoint, ...], object, int]
+#: A worker task: (config, sweep points, IS model params, derived seed,
+#: observer spec).  ``obs_spec`` is None or kwargs for a metrics-only
+#: Observer attached to the worker's measurement prototype.
+ModelTask = Tuple[object, Tuple[SweepPoint, ...], object, int,
+                  Optional[dict]]
 
 
 def _model_points(task: ModelTask):
     """Worker: measure the machine once, evaluate the shard's points.
 
-    Returns ``(machine, [(numa_on_seconds, numa_off_seconds), ...])``.
+    Returns ``(machine, [(numa_on_seconds, numa_off_seconds), ...])``,
+    with the worker's exported metrics dict appended when the task
+    carries an observer spec.
     """
     # Imported here: repro.core imports this package for its --jobs path.
     from ..core.prototype import Prototype
     from ..osmodel import Taskset, machine_from_prototype
     from ..workloads.intsort import IntSortModel
 
-    config, points, params, _seed = task
-    machine = machine_from_prototype(Prototype(config))
+    config, points, params, _seed, obs_spec = task
+    obs = None
+    if obs_spec is not None:
+        from ..obs import Observer
+        obs = Observer(tracing=False, **obs_spec)
+    machine = machine_from_prototype(Prototype(config, obs=obs))
     on = IntSortModel(machine, numa_on=True, params=params)
     off = IntSortModel(machine, numa_on=False, params=params)
     values = []
@@ -55,17 +64,29 @@ def _model_points(task: ModelTask):
         taskset = None if node_count is None else Taskset.first_nodes(node_count)
         values.append((on.runtime_seconds(n_threads, taskset),
                        off.runtime_seconds(n_threads, taskset)))
-    return machine, values
+    if obs is None:
+        return machine, values
+    return machine, values, obs.export_metrics()
+
+
+def _merged_metrics(results):
+    from ..obs.archive import merge_metric_shards
+    return merge_metric_shards([result[2] for result in results])
 
 
 def sharded_fig8_series(config, thread_counts=(3, 6, 12, 24, 48),
                         params=None, jobs: Optional[int] = 1,
-                        root_seed: int = 0):
+                        root_seed: int = 0, with_metrics: bool = False):
     """Fig. 8 (runtime vs thread count), one worker task per thread count.
 
     Returns ``(machine, series)`` where ``series`` matches
     :func:`repro.workloads.fig8_series` bit-for-bit at any ``jobs``.
     ``jobs=1`` short-circuits to one in-process machine measurement.
+
+    ``with_metrics=True`` appends the shard-merged metrics dict to the
+    return and always routes through the per-point task path (the serial
+    short-circuit measures one machine, not one per point, and would
+    archive different observability than a parallel run).
     """
     from ..core.prototype import Prototype
     from ..osmodel import machine_from_prototype
@@ -73,26 +94,33 @@ def sharded_fig8_series(config, thread_counts=(3, 6, 12, 24, 48),
 
     if params is None:
         params = IntSortParams()
-    if min(resolve_jobs(jobs), len(thread_counts)) <= 1:
+    if not with_metrics and min(resolve_jobs(jobs),
+                                len(thread_counts)) <= 1:
         machine = machine_from_prototype(Prototype(config))
         return machine, fig8_series(machine, thread_counts, params)
     tasks: List[ModelTask] = [
-        (config, ((threads, None),), params, task_seed(root_seed, "fig8", i))
+        (config, ((threads, None),), params,
+         task_seed(root_seed, "fig8", i), {} if with_metrics else None)
         for i, threads in enumerate(thread_counts)]
     results = run_tasks(_model_points, tasks, jobs=jobs)
-    return results[0][0], {
+    series = {
         "threads": list(thread_counts),
-        "numa_on": [values[0][0] for _machine, values in results],
-        "numa_off": [values[0][1] for _machine, values in results],
+        "numa_on": [result[1][0][0] for result in results],
+        "numa_off": [result[1][0][1] for result in results],
     }
+    if with_metrics:
+        return results[0][0], series, _merged_metrics(results)
+    return results[0][0], series
 
 
 def sharded_fig9_series(config, n_threads: int = 12, params=None,
-                        jobs: Optional[int] = 1, root_seed: int = 0):
+                        jobs: Optional[int] = 1, root_seed: int = 0,
+                        with_metrics: bool = False):
     """Fig. 9 (threads pinned to 1..n nodes), one task per node count.
 
     Returns ``(machine, series)`` matching
     :func:`repro.workloads.fig9_series` bit-for-bit at any ``jobs``.
+    ``with_metrics`` behaves as in :func:`sharded_fig8_series`.
     """
     from ..core.prototype import Prototype
     from ..osmodel import machine_from_prototype
@@ -101,15 +129,19 @@ def sharded_fig9_series(config, n_threads: int = 12, params=None,
     if params is None:
         params = IntSortParams()
     node_counts = list(range(1, config.n_nodes + 1))
-    if min(resolve_jobs(jobs), len(node_counts)) <= 1:
+    if not with_metrics and min(resolve_jobs(jobs), len(node_counts)) <= 1:
         machine = machine_from_prototype(Prototype(config))
         return machine, fig9_series(machine, n_threads, params)
     tasks: List[ModelTask] = [
-        (config, ((n_threads, k),), params, task_seed(root_seed, "fig9", i))
+        (config, ((n_threads, k),), params,
+         task_seed(root_seed, "fig9", i), {} if with_metrics else None)
         for i, k in enumerate(node_counts)]
     results = run_tasks(_model_points, tasks, jobs=jobs)
-    return results[0][0], {
+    series = {
         "active_nodes": node_counts,
-        "numa_on": [values[0][0] for _machine, values in results],
-        "numa_off": [values[0][1] for _machine, values in results],
+        "numa_on": [result[1][0][0] for result in results],
+        "numa_off": [result[1][0][1] for result in results],
     }
+    if with_metrics:
+        return results[0][0], series, _merged_metrics(results)
+    return results[0][0], series

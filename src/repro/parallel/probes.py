@@ -12,11 +12,20 @@ addresses depend only on the configuration — never on the worker count —
 share a prototype, exactly like consecutive rows of the legacy serial
 scan.  It is therefore part of the experiment definition, not a tuning
 knob to vary per run.)
+
+Observability rides along: with ``with_metrics=True`` every worker
+attaches a metrics-only :class:`~repro.obs.Observer` to its prototype and
+returns ``observer.export_metrics()`` next to its rows, and the parent
+folds the shard dicts with
+:func:`~repro.obs.archive.merge_metric_shards`.  Shard results and merge
+order depend only on the shard list, so the merged dict is byte-identical
+at every ``jobs`` value — a sharded sweep archives the same observability
+a serial sweep does.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .runner import fixed_shards, run_tasks
 
@@ -25,17 +34,27 @@ from .runner import fixed_shards, run_tasks
 #: several workers on the paper's 48-tile configuration.
 ROWS_PER_SHARD = 4
 
-#: A shard task: (config, sender rows, probes per pair).
-ShardTask = Tuple[object, Tuple[int, ...], int]
+#: A shard task: (config, sender rows, probes per pair, observer spec).
+#: ``obs_spec`` is None (no observability) or a kwargs dict for a
+#: metrics-only Observer built inside the worker.
+ShardTask = Tuple[object, Tuple[int, ...], int, Optional[dict]]
 
 
-def _measure_rows(task: ShardTask) -> List[List[int]]:
-    """Worker: build a fresh prototype and measure full receiver rows."""
+def _measure_rows(task: ShardTask):
+    """Worker: build a fresh prototype and measure full receiver rows.
+
+    Returns ``rows`` or, when the task carries an observer spec,
+    ``(rows, metrics_dict)``.
+    """
     # Imported here: repro.core imports this package for its --jobs path.
     from ..core.prototype import Prototype
 
-    config, senders, probes_per_pair = task
-    proto = Prototype(config)
+    config, senders, probes_per_pair, obs_spec = task
+    obs = None
+    if obs_spec is not None:
+        from ..obs import Observer
+        obs = Observer(tracing=False, **obs_spec)
+    proto = Prototype(config, obs=obs)
     size = config.total_tiles
     rows = []
     for sender in senders:
@@ -50,40 +69,67 @@ def _measure_rows(task: ShardTask) -> List[List[int]]:
             ]
             row.append(sum(samples) // len(samples))
         rows.append(row)
-    return rows
+    if obs is None:
+        return rows
+    return rows, obs.export_metrics()
 
 
 def _shard_tasks(config, senders: Sequence[int], probes_per_pair: int,
-                 rows_per_shard: int) -> List[ShardTask]:
-    return [(config, tuple(shard), probes_per_pair)
+                 rows_per_shard: int,
+                 obs_spec: Optional[dict] = None) -> List[ShardTask]:
+    return [(config, tuple(shard), probes_per_pair, obs_spec)
             for shard in fixed_shards(list(senders), rows_per_shard)]
+
+
+def _merge(shard_results) -> Tuple[List[List[int]], Dict[str, object]]:
+    from ..obs.archive import merge_metric_shards
+
+    rows = [row for result, _metrics in shard_results for row in result]
+    metrics = merge_metric_shards([m for _rows, m in shard_results])
+    return rows, metrics
 
 
 def sharded_latency_matrix(config, probes_per_pair: int = 1,
                            jobs: Optional[int] = 1,
                            rows_per_shard: int = ROWS_PER_SHARD,
-                           ) -> List[List[int]]:
+                           with_metrics: bool = False,
+                           obs_spec: Optional[dict] = None):
     """The Fig. 7 heatmap, sharded across ``jobs`` workers.
 
     Output is identical for every ``jobs`` value (including serial
-    ``jobs=1``); see the module docstring for why.
+    ``jobs=1``); see the module docstring for why.  With
+    ``with_metrics=True`` returns ``(matrix, merged_metrics)`` where the
+    merged dict is likewise identical at every worker count.
     """
     size = config.total_tiles
+    if with_metrics and obs_spec is None:
+        obs_spec = {}
     tasks = _shard_tasks(config, range(size), probes_per_pair,
-                         rows_per_shard)
+                         rows_per_shard,
+                         obs_spec if with_metrics else None)
     shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    if with_metrics:
+        return _merge(shard_rows)
     return [row for rows in shard_rows for row in rows]
 
 
 def probe_rows(config, senders: Sequence[int], probes_per_pair: int = 1,
                jobs: Optional[int] = 1,
-               rows_per_shard: int = 1) -> List[List[int]]:
+               rows_per_shard: int = 1,
+               with_metrics: bool = False,
+               obs_spec: Optional[dict] = None):
     """Full receiver rows for selected ``senders`` (CLI ``latency``).
 
     Each sender gets its own fresh prototype by default
     (``rows_per_shard=1``), so the row set — unlike the full matrix scan —
-    is independent of which senders were requested together.
+    is independent of which senders were requested together.  With
+    ``with_metrics=True`` returns ``(rows, merged_metrics)``.
     """
-    tasks = _shard_tasks(config, senders, probes_per_pair, rows_per_shard)
+    if with_metrics and obs_spec is None:
+        obs_spec = {}
+    tasks = _shard_tasks(config, senders, probes_per_pair, rows_per_shard,
+                         obs_spec if with_metrics else None)
     shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    if with_metrics:
+        return _merge(shard_rows)
     return [row for rows in shard_rows for row in rows]

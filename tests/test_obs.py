@@ -115,6 +115,33 @@ class TestMetricRegistry:
         assert 'node0_lat{quantile="0.5"} 10' in text
         assert "node0_lat_count 4" in text
 
+    def test_prometheus_collision_suffixes_are_deterministic(self):
+        # "a.b" and "a->b" both sanitize to names colliding after the
+        # substitution; the second/third claims get _2/_3 suffixes and
+        # the text contains no duplicate TYPE declarations.
+        reg = MetricRegistry()
+        reg.inc("fabric.a-b.pkts", 4)
+        reg.inc("fabric.a.b.pkts", 5)
+        reg.inc("fabric.a_b.pkts", 6)
+        text = reg.to_prometheus()
+        assert "fabric_a_b_pkts 4" in text
+        assert "fabric_a_b_pkts_2 5" in text
+        assert "fabric_a_b_pkts_3 6" in text
+        declared = [line for line in text.splitlines()
+                    if line.startswith("# TYPE")]
+        assert len(declared) == len(set(declared))
+        # Deterministic: a second export renders identically.
+        assert reg.to_prometheus() == text
+
+    def test_prometheus_zero_sample_histogram(self):
+        reg = MetricRegistry()
+        reg.histogram("lat")               # registered, never observed
+        text = reg.to_prometheus()
+        assert "# TYPE lat summary" in text
+        assert "lat_sum 0" in text
+        assert "lat_count 0" in text
+        assert "quantile" not in text
+
 
 class TestTracer:
     def test_category_filter(self):
@@ -137,6 +164,29 @@ class TestTracer:
             tracer.instant("noc", "r0", "hop", ts)
         assert tracer.event_count() == 10
         assert tracer.dropped == 0
+
+    def test_dropped_counts_per_component(self):
+        tracer = Tracer(ring_capacity=2)
+        for ts in range(5):
+            tracer.instant("noc", "r0", "hop", ts)       # 3 evictions
+        for ts in range(3):
+            tracer.complete("cache", "bpc", "load", ts, 1)  # 1 eviction
+        tracer.instant("noc", "r1", "hop", 0)            # none
+        assert tracer.dropped_by_component() == {"r0": 3, "bpc": 1}
+        assert tracer.dropped == 4
+
+    def test_dropped_surfaces_in_exported_metrics(self):
+        obs = Observer(ring_capacity=2, sample_interval=10_000)
+        proto = Prototype(parse_config("1x1x2"), obs=obs)
+        proto.measure_pair_latency(0, 1)
+        proto.measure_pair_latency(1, 0)
+        metrics = obs.export_metrics()
+        assert metrics["obs.trace.dropped"] == obs.tracer.dropped > 0
+        per_component = {
+            name: value for name, value in metrics.items()
+            if name.startswith("obs.trace.dropped.")}
+        assert per_component
+        assert sum(per_component.values()) == metrics["obs.trace.dropped"]
 
     def test_chrome_export_schema(self, tmp_path):
         tracer = Tracer()
@@ -188,6 +238,30 @@ class TestProbes:
         probes.maybe_sample(250)
         assert probes.series("q.depth") == [(120, 3.0), (250, 9.0)]
         assert probes.latest() == {"q.depth": 9.0}
+
+    def test_per_category_intervals(self):
+        probes = ProbeSet(interval=1000, intervals={"noc": 64, "mem": 256})
+        probes.add("r0.occ", lambda: 1.0, category="noc")
+        probes.add("mc.depth", lambda: 2.0, category="mem")
+        probes.add("g", lambda: 3.0)               # default interval
+        assert probes.interval_of("noc") == 64
+        assert probes.interval_of("mem") == 256
+        # Still activity-driven: nothing samples without a nudge.
+        probes.maybe_sample(64)
+        assert probes.series("r0.occ") == [(64, 1.0)]
+        assert probes.series("mc.depth") == []     # not due yet
+        probes.maybe_sample(256)
+        assert probes.series("mc.depth") == [(256, 2.0)]
+        assert probes.series("g") == []            # 1000 not reached
+        probes.maybe_sample(1000)
+        assert probes.series("g") == [(1000, 3.0)]
+        # The noc series sampled on its own fast clock along the way.
+        assert [ts for ts, _ in probes.series("r0.occ")] == [64, 256, 1000]
+
+    def test_observer_forwards_sample_intervals(self):
+        obs = Observer(tracing=False, sample_interval=1000,
+                       sample_intervals={"noc": 64})
+        assert obs.probes.interval_of("noc") == 64
 
     def test_samples_mirror_into_tracer(self):
         tracer = Tracer()
