@@ -1,0 +1,57 @@
+"""CI gate: the warm bench_fig8 rerun must be served from the store.
+
+Compares the cold and warm run archives written by the two benchmark
+invocations: the warm run must have hit the store for every point
+(zero misses — zero machine measurements), produced a byte-identical
+series, and finished measurably faster than the cold run.
+"""
+
+import json
+import os
+import sys
+
+COLD = os.path.join("runs-cold", "fig8-4x1x12")
+WARM = os.path.join("runs-warm", "fig8-4x1x12")
+
+
+def read(path, name):
+    with open(os.path.join(path, name)) as handle:
+        return json.load(handle)
+
+
+def read_bytes(path, name):
+    with open(os.path.join(path, name), "rb") as handle:
+        return handle.read()
+
+
+def main():
+    cold_manifest = read(COLD, "manifest.json")
+    warm_manifest = read(WARM, "manifest.json")
+    warm_metrics = read(WARM, "metrics.json")
+
+    hits = warm_metrics.get("obs.store.hit", 0)
+    misses = warm_metrics.get("obs.store.miss", 0)
+    if hits <= 0:
+        sys.exit(f"warm run recorded no store hits (hit={hits})")
+    if misses != 0:
+        sys.exit(f"warm run re-simulated {misses} points "
+                 f"(expected obs.store.miss == 0)")
+
+    if read_bytes(COLD, "series.json") != read_bytes(WARM, "series.json"):
+        sys.exit("cold and warm series.json differ byte-for-byte")
+
+    if cold_manifest["config_hash"] != warm_manifest["config_hash"]:
+        sys.exit("cold and warm archives disagree on config_hash")
+
+    cold_wall = cold_manifest["wall_seconds"]
+    warm_wall = warm_manifest["wall_seconds"]
+    if warm_wall >= cold_wall:
+        sys.exit(f"warm run was not faster: cold={cold_wall:.3f}s "
+                 f"warm={warm_wall:.3f}s")
+
+    print(f"warm cache OK: hits={hits} misses=0, series byte-identical, "
+          f"wall {cold_wall:.3f}s -> {warm_wall:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,38 +5,47 @@ through the coherence fabric (intra-node over the NoC, inter-node through
 the AXI4/PCIe bridge).  The paper reports ~100-cycle intra-node and
 ~250-cycle inter-node round trips with four clearly visible NUMA domains.
 
-With ``REPRO_ARCHIVE=runs`` the sweep also persists a run archive at
-``runs/fig7-4x1x12`` — worker metric shards merged exactly, so the
-archive is byte-identical at any ``REPRO_JOBS``.
+``REPRO_JOBS=N`` shards the 2304 probes across N workers (the matrix is
+bit-identical at every worker count); ``REPRO_STORE=store`` memoizes
+each sender-row shard, so a warm rerun probes nothing; with
+``REPRO_ARCHIVE=runs`` the sweep also persists a run archive at
+``runs/fig7-4x1x12`` — worker metric shards merged exactly, plus the
+``obs.store.*`` counters.
 """
 
-import os
 import statistics
+import os
 import time
 
-from repro import build
 from repro.analysis import block_summary, heatmap
+from repro.core.config import parse_config
 from repro.obs.archive import RunArchive, archive_root_from_env
-from repro.parallel import env_jobs
+from repro.parallel import env_jobs, latency_matrix_spec, run_sweep
+from repro.store import store_from_env
 
 
 def measure_matrix():
-    # REPRO_JOBS=N shards the 2304 probes across N workers; the matrix is
-    # bit-identical at every worker count (repro.parallel contract).
-    proto = build("4x1x12")
+    config = parse_config("4x1x12")
     root = archive_root_from_env()
-    if root is None:
-        return (proto.latency_matrix(jobs=env_jobs()),
-                proto.config.tiles_per_node)
+    store = store_from_env()
+    jobs = env_jobs()
     start = time.perf_counter()
-    matrix, metrics = proto.latency_matrix(jobs=env_jobs(),
-                                           with_metrics=True)
-    RunArchive.write(os.path.join(root, "fig7-4x1x12"), metrics,
-                     config=proto.config, label="4x1x12",
-                     wall_seconds=time.perf_counter() - start,
-                     extra={"figure": "fig7",
-                            "jobs": env_jobs()})
-    return matrix, proto.config.tiles_per_node
+    spec = latency_matrix_spec(config,
+                               obs_spec={} if root is not None else None)
+    result = run_sweep(spec, jobs=jobs, store=store)
+    matrix = result.value["rows"]
+    if root is not None:
+        metrics = dict(result.value["metrics"])
+        if store is not None:
+            metrics.update(store.export_metrics())
+        RunArchive.write(os.path.join(root, "fig7-4x1x12"), metrics,
+                         config=config, label="4x1x12",
+                         config_hash=result.config_hash,
+                         wall_seconds=time.perf_counter() - start,
+                         extra={"figure": "fig7", "jobs": jobs,
+                                "store_hits": result.hits,
+                                "store_misses": result.misses})
+    return matrix, config.tiles_per_node
 
 
 def test_fig7_latency_heatmap(benchmark, report):

@@ -4,8 +4,12 @@ The NUMA machine parameters (local/remote latency) are *measured* from
 the cycle-level 4x1x12 prototype, then fed into the phase-level IS model
 (the documented substitution for hours of full-Linux execution).
 
-``REPRO_ARCHIVE=runs`` persists the sweep's shard-merged metrics as a
-run archive at ``runs/fig8-4x1x12``.
+``REPRO_JOBS=N`` shards the sweep one task per thread count;
+``REPRO_STORE=store`` memoizes every point, so a warm rerun performs
+zero machine measurements (``obs.store.hit`` == point count) and yields
+a byte-identical series; ``REPRO_ARCHIVE=runs`` persists the
+shard-merged metrics — including the ``obs.store.*`` counters — plus the
+series as a run archive at ``runs/fig8-4x1x12``.
 """
 
 import os
@@ -14,23 +18,38 @@ import time
 from repro.analysis import line_series
 from repro.core.config import parse_config
 from repro.obs.archive import RunArchive, archive_root_from_env
-from repro.parallel import env_jobs, sharded_fig8_series
+from repro.osmodel import NumaMachine, machine_from_prototype
+from repro.parallel import env_jobs, fig8_spec, resolve_jobs, run_sweep
+from repro.store import store_from_env
 
 
 def compute_fig8():
-    # REPRO_JOBS=N shards the sweep one task per thread count; the result
-    # is bit-identical to the serial run (see repro.parallel.osmodel).
     config = parse_config("4x1x12")
     root = archive_root_from_env()
-    if root is None:
-        return sharded_fig8_series(config, jobs=env_jobs())
+    store = store_from_env()
+    jobs = env_jobs()
+    if root is None and store is None and resolve_jobs(jobs) <= 1:
+        # Cheap plain path: one machine measurement, serial model eval.
+        from repro.core.prototype import Prototype
+        from repro.workloads.intsort import fig8_series
+        machine = machine_from_prototype(Prototype(config))
+        return machine, fig8_series(machine)
     start = time.perf_counter()
-    machine, series, metrics = sharded_fig8_series(
-        config, jobs=env_jobs(), with_metrics=True)
-    RunArchive.write(os.path.join(root, "fig8-4x1x12"), metrics,
-                     config=config, label="4x1x12",
-                     wall_seconds=time.perf_counter() - start,
-                     extra={"figure": "fig8", "jobs": env_jobs()})
+    result = run_sweep(fig8_spec(config, obs_spec={} if root else None),
+                       jobs=jobs, store=store)
+    machine = NumaMachine.from_dict(result.value["machine"])
+    series = result.value["series"]
+    if root is not None:
+        metrics = dict(result.value["metrics"])
+        if store is not None:
+            metrics.update(store.export_metrics())
+        RunArchive.write(os.path.join(root, "fig8-4x1x12"), metrics,
+                         config=config, label="4x1x12",
+                         config_hash=result.config_hash, series=series,
+                         wall_seconds=time.perf_counter() - start,
+                         extra={"figure": "fig8", "jobs": jobs,
+                                "store_hits": result.hits,
+                                "store_misses": result.misses})
     return machine, series
 
 

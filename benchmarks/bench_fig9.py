@@ -1,15 +1,48 @@
-"""Fig. 9: thread-allocation study — 12 IS threads pinned to 1-4 nodes."""
+"""Fig. 9: thread-allocation study — 12 IS threads pinned to 1-4 nodes.
+
+``REPRO_JOBS=N`` shards the sweep one task per node count;
+``REPRO_STORE=store`` memoizes every point (a warm rerun measures no
+machines); ``REPRO_ARCHIVE=runs`` persists the merged metrics and the
+series at ``runs/fig9-4x1x12``.
+"""
+
+import os
+import time
 
 from repro.analysis import line_series
 from repro.core.config import parse_config
-from repro.parallel import env_jobs, sharded_fig9_series
+from repro.obs.archive import RunArchive, archive_root_from_env
+from repro.parallel import env_jobs, fig9_spec, resolve_jobs, run_sweep
+from repro.store import store_from_env
 
 
 def compute_fig9():
-    # REPRO_JOBS=N shards the sweep one task per node count; the result
-    # is bit-identical to the serial run (see repro.parallel.osmodel).
-    _machine, series = sharded_fig9_series(parse_config("4x1x12"),
-                                           jobs=env_jobs())
+    config = parse_config("4x1x12")
+    root = archive_root_from_env()
+    store = store_from_env()
+    jobs = env_jobs()
+    if root is None and store is None and resolve_jobs(jobs) <= 1:
+        # Cheap plain path: one machine measurement, serial model eval.
+        from repro.core.prototype import Prototype
+        from repro.osmodel import machine_from_prototype
+        from repro.workloads.intsort import fig9_series
+        machine = machine_from_prototype(Prototype(config))
+        return fig9_series(machine)
+    start = time.perf_counter()
+    result = run_sweep(fig9_spec(config, obs_spec={} if root else None),
+                       jobs=jobs, store=store)
+    series = result.value["series"]
+    if root is not None:
+        metrics = dict(result.value["metrics"])
+        if store is not None:
+            metrics.update(store.export_metrics())
+        RunArchive.write(os.path.join(root, "fig9-4x1x12"), metrics,
+                         config=config, label="4x1x12",
+                         config_hash=result.config_hash, series=series,
+                         wall_seconds=time.perf_counter() - start,
+                         extra={"figure": "fig9", "jobs": jobs,
+                                "store_hits": result.hits,
+                                "store_misses": result.misses})
     return series
 
 

@@ -13,6 +13,11 @@ simulation::
     python -m repro trace 2x1x2            # Perfetto trace + metrics bundle
     python -m repro stats 2x1x2            # Prometheus-style metrics dump
     python -m repro diff runs/a runs/b     # cross-run metric deltas / gate
+    python -m repro cache stats            # result-store contents / GC
+
+Common flags (``--seed``/``--output``/``--archive``/``--jobs``/
+``--sample-intervals``/``--store``) come from :mod:`repro.cli_common`
+parent parsers, so they behave identically on every subcommand.
 """
 
 from __future__ import annotations
@@ -26,24 +31,16 @@ from typing import Dict, List, Optional
 
 from . import Prototype, build, parse_config
 from .analysis import render_table
+from .cli_common import (archive_flags, emit, format_flags, jobs_flags,
+                         output_flags, parse_intervals, sampling_flags,
+                         seed_flags, store_flags, write_archive)
 from .cost import FIG13_TOOLS, benchmark_costs, suite_costs
 from .errors import ReproError
 from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
                    estimate_build, max_tiles_per_fpga)
 from .parallel import probe_rows, run_tasks
-
-
-def _jobs_count(value: str) -> int:
-    """argparse type for ``--jobs``: a non-negative int (0 = all cores)."""
-    try:
-        jobs = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"must be an integer, got {value!r}")
-    if jobs < 0:
-        raise argparse.ArgumentTypeError(
-            f"must be >= 0 (0 means one worker per CPU), got {jobs}")
-    return jobs
+from .store import ResultStore, default_store_root, gc_runs, parse_age
+from .store import parse_bytes as parse_size
 
 
 def cmd_describe(args) -> int:
@@ -90,22 +87,36 @@ def cmd_sweep(args) -> int:
             for tiles in range(1, max_tiles_per_fpga(args.core) + 1)]
     rows = [row for row in run_tasks(_sweep_point, grid, jobs=args.jobs)
             if row is not None]
-    print(render_table(
+    emit(args, render_table(
         ["config (BxC)", "tiles/FPGA", "LUTs", "frequency"], rows,
-        title=f"configurations that fit one FPGA ({args.core} tiles)"))
+        title=f"configurations that fit one FPGA ({args.core} tiles)"),
+        what="sweep table")
     return 0
 
 
 def cmd_latency(args) -> int:
-    config = parse_config(args.config)
+    config = parse_config(args.config, seed=args.seed)
     total = config.total_tiles
     tiles_per_node = config.tiles_per_node
     senders = list(range(0, total, max(1, total // 6)))
     intra, inter = [], []
+    metrics = None
+    start = time.perf_counter()
     if args.jobs is not None:
         # Sharded engine: one fresh prototype per sender row, results
-        # identical at any worker count.
-        rows = probe_rows(config, senders, jobs=args.jobs)
+        # identical at any worker count.  --store memoizes each row;
+        # --archive attaches per-worker observers and persists the
+        # exactly merged metrics.
+        store = ResultStore(args.store) if args.store else None
+        with_metrics = bool(args.archive)
+        rows = probe_rows(config, senders, jobs=args.jobs,
+                          with_metrics=with_metrics, store=store)
+        if with_metrics:
+            rows, metrics = rows
+        if store is not None:
+            if metrics is None:
+                metrics = {}
+            metrics.update(store.export_metrics())
         for sender, row in zip(senders, rows):
             for receiver, latency in enumerate(row):
                 if sender == receiver:
@@ -114,6 +125,10 @@ def cmd_latency(args) -> int:
                              == receiver // tiles_per_node)
                 (intra if same_node else inter).append(latency)
     else:
+        if args.archive or args.store:
+            raise ReproError(
+                "latency --archive/--store require the sharded engine; "
+                "pass --jobs")
         proto = build(args.config)
         for sender in senders:
             for receiver in range(total):
@@ -123,6 +138,7 @@ def cmd_latency(args) -> int:
                 same_node = (sender // tiles_per_node
                              == receiver // tiles_per_node)
                 (intra if same_node else inter).append(latency)
+    wall = time.perf_counter() - start
     rows = [["intra-node", f"{statistics.mean(intra):.0f}",
              min(intra), max(intra)]]
     if inter:
@@ -131,9 +147,12 @@ def cmd_latency(args) -> int:
         rows.append(["NUMA ratio",
                      f"{statistics.mean(inter) / statistics.mean(intra):.2f}x",
                      "", ""])
-    print(render_table(["path", "mean (cycles)", "min", "max"], rows,
-                       title=f"core-to-core round-trip latency, "
-                             f"{args.config}"))
+    emit(args, render_table(["path", "mean (cycles)", "min", "max"], rows,
+                            title=f"core-to-core round-trip latency, "
+                                  f"{args.config}"),
+         what="latency table")
+    if args.archive:
+        write_archive(args, config, metrics, wall_seconds=wall)
     return 0
 
 
@@ -156,42 +175,11 @@ def _drive_probes(proto) -> None:
         proto.measure_pair_latency(0, receiver)
 
 
-def _parse_intervals(text: Optional[str]) -> Optional[Dict[str, int]]:
-    """``"noc=64,mem=256"`` → per-category probe intervals."""
-    if not text:
-        return None
-    intervals: Dict[str, int] = {}
-    for part in text.split(","):
-        category, _, value = part.partition("=")
-        if not category or not value:
-            raise ReproError(
-                f"--sample-intervals expects CAT=CYCLES[,CAT=CYCLES], "
-                f"got {part!r}")
-        try:
-            intervals[category.strip()] = int(value)
-        except ValueError:
-            raise ReproError(
-                f"--sample-intervals: {value!r} is not an integer")
-    return intervals
-
-
-def _write_archive(args, config, metrics, *, cycles=None,
-                   events_executed=None, wall_seconds=None,
-                   series=None) -> None:
-    from .obs import RunArchive
-    archive = RunArchive.write(
-        args.archive, metrics, config=config, cycles=cycles,
-        events_executed=events_executed, wall_seconds=wall_seconds,
-        series=series, command=["repro"] + sys.argv[1:]
-        if sys.argv[0].endswith(("repro", "__main__.py")) else None)
-    print(f"archived run {archive.run_id} under {archive.path}")
-
-
 def cmd_trace(args) -> int:
     from .obs import (Observer, StreamingTracer, chrome_from_jsonl,
                       validate_chrome_trace)
     categories = args.categories.split(",") if args.categories else None
-    intervals = _parse_intervals(args.sample_intervals)
+    intervals = parse_intervals(args.sample_intervals)
     if args.stream:
         tracer = StreamingTracer(args.out, categories=categories)
         obs = Observer(tracer=tracer,
@@ -222,9 +210,9 @@ def cmd_trace(args) -> int:
     with open(args.metrics, "w") as handle:
         json.dump(bundle, handle, indent=2, sort_keys=True)
     if args.archive:
-        _write_archive(args, config, metrics, cycles=proto.now,
-                       events_executed=proto.sim.events_executed,
-                       wall_seconds=wall, series=obs.probes.series())
+        write_archive(args, config, metrics, cycles=proto.now,
+                      events_executed=proto.sim.events_executed,
+                      wall_seconds=wall, series=obs.probes.series())
     kind = "streamed" if args.stream else "wrote"
     print(f"{kind} {event_count} trace events to {args.out} "
           f"(open in https://ui.perfetto.dev)")
@@ -236,20 +224,30 @@ def cmd_trace(args) -> int:
 
 def cmd_stats(args) -> int:
     from .obs import Observer
-    intervals = _parse_intervals(args.sample_intervals)
+    intervals = parse_intervals(args.sample_intervals)
     config = parse_config(args.config, seed=args.seed)
     start = time.perf_counter()
+    sweep_hash = None
     if args.jobs is not None:
-        # Sharded sweep: per-worker observers, shard dicts merged exactly
-        # (byte-identical at any worker count).
-        from .parallel import sharded_latency_matrix
-        obs_spec = {"sample_interval": args.sample_interval,
-                    "sample_intervals": intervals}
-        _matrix, metrics = sharded_latency_matrix(
-            config, jobs=args.jobs, with_metrics=True, obs_spec=obs_spec)
+        # Sharded sweep through the unified engine: per-worker observers,
+        # shard dicts merged exactly (byte-identical at any worker
+        # count); --store memoizes every shard.
+        from .parallel import latency_matrix_spec, run_sweep
+        store = ResultStore(args.store) if args.store else None
+        spec = latency_matrix_spec(
+            config, obs_spec={"sample_interval": args.sample_interval,
+                              "sample_intervals": intervals})
+        result = run_sweep(spec, jobs=args.jobs, store=store)
+        metrics = dict(result.value["metrics"])
+        if store is not None:
+            metrics.update(store.export_metrics())
+        sweep_hash = result.config_hash
         cycles = events = None
         series = None
     else:
+        if args.store:
+            raise ReproError(
+                "stats --store requires the sharded sweep; pass --jobs")
         obs = Observer(tracing=False, sample_interval=args.sample_interval,
                        sample_intervals=intervals)
         proto = Prototype(config, obs=obs)
@@ -263,16 +261,11 @@ def cmd_stats(args) -> int:
     else:
         registry = _registry_from_dict(metrics)
         text = registry.to_prometheus().rstrip("\n")
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.format} metrics to {args.output}")
-    else:
-        print(text)
+    emit(args, text, what=f"{args.format} metrics")
     if args.archive:
-        _write_archive(args, config, metrics, cycles=cycles,
-                       events_executed=events, wall_seconds=wall,
-                       series=series)
+        write_archive(args, config, metrics, cycles=cycles,
+                      events_executed=events, wall_seconds=wall,
+                      series=series, config_hash=sweep_hash)
     return 0
 
 
@@ -322,12 +315,7 @@ def cmd_diff(args) -> int:
     else:
         text = diff_mod.render_diff(deltas,
                                     only_violations=args.only_violations)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote diff to {args.output}")
-    else:
-        print(text)
+    emit(args, text, what="diff")
     if bad:
         print(f"error: {len(bad)} metric(s) outside tolerance",
               file=sys.stderr)
@@ -346,6 +334,96 @@ def cmd_cost(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# repro cache — the persistent result store
+# ----------------------------------------------------------------------
+
+def _age_text(seconds: float) -> str:
+    for unit, span in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= span:
+            return f"{seconds / span:.1f}{unit}"
+    return f"{seconds:.0f}s"
+
+
+def cmd_cache_ls(args) -> int:
+    store = ResultStore(args.store)
+    entries = store.entries()
+    now = time.time()
+    if args.format == "json":
+        rows = []
+        for entry in entries:
+            payload = store.describe(entry)
+            rows.append({"key": entry.key, "bytes": entry.bytes,
+                         "mtime_unix": round(entry.mtime, 3),
+                         "payload": payload})
+        emit(args, json.dumps(rows, indent=2, sort_keys=True),
+             what="store listing")
+        return 0
+    rows = []
+    for entry in entries:
+        payload = store.describe(entry)
+        point = json.dumps(payload.get("point"), sort_keys=True,
+                           default=str)
+        if len(point) > 40:
+            point = point[:37] + "..."
+        rows.append([entry.key[:12],
+                     payload.get("family", "?"),
+                     str(payload.get("config_hash", "?"))[:12],
+                     point, entry.bytes,
+                     _age_text(max(0.0, now - entry.mtime))])
+    emit(args, render_table(
+        ["key", "family", "config", "point", "bytes", "age"], rows,
+        title=f"result store {store.root} ({len(entries)} entries)"),
+        what="store listing")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    stats = ResultStore(args.store).stats()
+    if args.format == "json":
+        emit(args, json.dumps(stats, indent=2, sort_keys=True),
+             what="store stats")
+        return 0
+    rows = [["root", stats["root"]],
+            ["entries", stats["entries"]],
+            ["bytes", stats["bytes"]]]
+    if stats["oldest_unix"] is not None:
+        now = time.time()
+        rows.append(["oldest", _age_text(now - stats["oldest_unix"])])
+        rows.append(["newest", _age_text(now - stats["newest_unix"])])
+    emit(args, render_table(["property", "value"], rows,
+                            title="result store"),
+         what="store stats")
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    if args.max_age is None and args.max_bytes is None:
+        raise ReproError("cache gc needs --max-age and/or --max-bytes")
+    max_age = parse_age(args.max_age) if args.max_age else None
+    max_bytes = parse_size(args.max_bytes) if args.max_bytes else None
+    store = ResultStore(args.store)
+    stats = store.gc(max_age_seconds=max_age, max_bytes=max_bytes)
+    print(f"store {store.root}: removed {stats.removed} entries "
+          f"({stats.removed_bytes} bytes), kept {stats.kept} "
+          f"({stats.kept_bytes} bytes)")
+    # The same retention policy covers the run-archive tree (ROADMAP's
+    # archive GC item); a missing tree is simply zero archives.
+    run_stats = gc_runs(args.runs, max_age_seconds=max_age,
+                        max_bytes=max_bytes)
+    print(f"runs {args.runs}: removed {run_stats.removed} archives "
+          f"({run_stats.removed_bytes} bytes), kept {run_stats.kept} "
+          f"({run_stats.kept_bytes} bytes)")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    store = ResultStore(args.store)
+    removed = store.clear()
+    print(f"store {store.root}: removed {removed} entries")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SMAPPIC prototype platform (simulated)")
@@ -357,20 +435,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     describe.set_defaults(func=cmd_describe)
 
     sweep = subparsers.add_parser(
-        "sweep", help="every BxC configuration that fits one FPGA")
+        "sweep", help="every BxC configuration that fits one FPGA",
+        parents=[jobs_flags(default=1),
+                 output_flags("write the table to PATH instead of "
+                              "stdout")])
     sweep.add_argument("--core", default="ariane")
-    sweep.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
-                       help="worker processes (0 = one per CPU)")
     sweep.set_defaults(func=cmd_sweep)
 
     latency = subparsers.add_parser(
-        "latency", help="measure core-to-core latencies (Fig. 7 style)")
+        "latency", help="measure core-to-core latencies (Fig. 7 style)",
+        parents=[jobs_flags(default=None,
+                            help="worker processes for the sharded probe "
+                                 "engine (0 = one per CPU; omit for the "
+                                 "legacy in-place scan)"),
+                 seed_flags(), output_flags(), archive_flags(),
+                 store_flags()])
     latency.add_argument("config")
-    latency.add_argument("--jobs", type=_jobs_count, default=None,
-                         metavar="N",
-                         help="worker processes for the sharded probe "
-                              "engine (0 = one per CPU; omit for the "
-                              "legacy in-place scan)")
     latency.set_defaults(func=cmd_latency)
 
     hello = subparsers.add_parser(
@@ -384,7 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace = subparsers.add_parser(
         "trace", help="run traced latency probes; emit a Perfetto-loadable "
-                      "Chrome trace plus a metrics bundle")
+                      "Chrome trace plus a metrics bundle",
+        parents=[seed_flags(), archive_flags(), sampling_flags()])
     trace.add_argument("config", nargs="?", default="2x1x2")
     trace.add_argument("--out", "--output", dest="out",
                        default="trace.json",
@@ -403,50 +484,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                        metavar="N",
                        help="max trace events kept per component "
                             "(0 = unbounded; ignored with --stream)")
-    trace.add_argument("--sample-interval", type=int, default=1000,
-                       metavar="CYCLES",
-                       help="probe sampling interval in cycles")
-    trace.add_argument("--sample-intervals", default=None,
-                       metavar="CAT=CYCLES,..",
-                       help="per-category probe intervals, e.g. "
-                            "noc=64,mem=256 (others use "
-                            "--sample-interval)")
-    trace.add_argument("--seed", type=int, default=0,
-                       help="simulation seed (determinism gates)")
-    trace.add_argument("--archive", default=None, metavar="DIR",
-                       help="also persist the run archive at DIR "
-                            "(e.g. runs/a)")
     trace.set_defaults(func=cmd_trace)
 
     stats = subparsers.add_parser(
         "stats", help="run latency probes with metrics only; print the "
-                      "registry as Prometheus text or JSON")
+                      "registry as Prometheus text or JSON",
+        parents=[seed_flags(), archive_flags(), sampling_flags(),
+                 format_flags(choices=("prom", "json"), default="prom"),
+                 output_flags("write the dump to PATH instead of stdout"),
+                 jobs_flags(default=None,
+                            help="run the sharded Fig. 7 sweep instead of "
+                                 "the single probe row and merge "
+                                 "per-worker metrics exactly (0 = one "
+                                 "per CPU)"),
+                 store_flags()])
     stats.add_argument("config", nargs="?", default="2x1x2")
-    stats.add_argument("--format", choices=("prom", "json"), default="prom",
-                       help="output format (default: prom)")
-    stats.add_argument("--output", default=None, metavar="PATH",
-                       help="write the dump to PATH instead of stdout")
-    stats.add_argument("--sample-interval", type=int, default=1000,
-                       metavar="CYCLES")
-    stats.add_argument("--sample-intervals", default=None,
-                       metavar="CAT=CYCLES,..",
-                       help="per-category probe intervals, e.g. "
-                            "noc=64,mem=256")
-    stats.add_argument("--seed", type=int, default=0,
-                       help="simulation seed")
-    stats.add_argument("--jobs", type=_jobs_count, default=None,
-                       metavar="N",
-                       help="run the sharded Fig. 7 sweep instead of the "
-                            "single probe row and merge per-worker "
-                            "metrics exactly (0 = one per CPU)")
-    stats.add_argument("--archive", default=None, metavar="DIR",
-                       help="also persist the run archive at DIR "
-                            "(e.g. runs/a)")
     stats.set_defaults(func=cmd_stats)
 
     diff = subparsers.add_parser(
         "diff", help="compare two archived runs metric-by-metric, or "
-                     "gate one run against a committed baseline")
+                     "gate one run against a committed baseline",
+        parents=[format_flags(),
+                 output_flags("write the report to PATH instead of "
+                              "stdout")])
     diff.add_argument("run_a", nargs="?", default=None,
                       help="run archive dir, metrics bundle, or flat "
                            "metrics JSON")
@@ -467,11 +527,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "last match wins; DIR is both/lower/upper)")
     diff.add_argument("--only-violations", action="store_true",
                       help="print only metrics outside tolerance")
-    diff.add_argument("--format", choices=("text", "json"),
-                      default="text")
-    diff.add_argument("--output", default=None, metavar="PATH",
-                      help="write the report to PATH instead of stdout")
     diff.set_defaults(func=cmd_diff)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and maintain the persistent result store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_store = store_flags(default=default_store_root())
+
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list stored sweep-point entries",
+        parents=[cache_store, format_flags(), output_flags()])
+    cache_ls.set_defaults(func=cmd_cache_ls)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, bytes, and age summary",
+        parents=[cache_store, format_flags(), output_flags()])
+    cache_stats.set_defaults(func=cmd_cache_stats)
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="apply the retention policy to the store and the "
+                   "runs/ archives",
+        parents=[cache_store])
+    cache_gc.add_argument("--max-age", default=None, metavar="AGE",
+                          help="drop entries older than AGE "
+                               "(e.g. 7d, 12h, 90s)")
+    cache_gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                          help="then drop oldest-first until under SIZE "
+                               "(e.g. 200M, 1G)")
+    cache_gc.add_argument("--runs", default="runs", metavar="DIR",
+                          help="run-archive tree covered by the same "
+                               "policy (default: runs)")
+    cache_gc.set_defaults(func=cmd_cache_gc)
+
+    cache_clear = cache_sub.add_parser(
+        "clear", help="drop every stored entry",
+        parents=[cache_store])
+    cache_clear.set_defaults(func=cmd_cache_clear)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,162 @@
+"""Shared CLI plumbing: common flags, parsers, and archive writing.
+
+Every measuring subcommand used to re-declare ``--seed`` / ``--output``
+/ ``--archive`` / ``--sample-intervals`` / ``--jobs`` with its own help
+strings and defaults, and re-implement the archive write.  The builders
+here are argparse *parent parsers* (``add_help=False``), so ``trace``,
+``stats``, ``latency``, ``sweep``, and ``cache`` compose exactly the
+flags they need and the flags behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from .errors import ReproError
+
+
+def jobs_count(value: str) -> int:
+    """argparse type for ``--jobs``: a non-negative int (0 = all cores)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 means one worker per CPU), got {jobs}")
+    return jobs
+
+
+def parse_intervals(text: Optional[str]) -> Optional[Dict[str, int]]:
+    """``"noc=64,mem=256"`` → per-category probe intervals."""
+    if not text:
+        return None
+    intervals: Dict[str, int] = {}
+    for part in text.split(","):
+        category, _, value = part.partition("=")
+        if not category or not value:
+            raise ReproError(
+                f"--sample-intervals expects CAT=CYCLES[,CAT=CYCLES], "
+                f"got {part!r}")
+        try:
+            intervals[category.strip()] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--sample-intervals: {value!r} is not an integer")
+    return intervals
+
+
+# ----------------------------------------------------------------------
+# Parent parsers (argparse parents=[...], one flag family each)
+# ----------------------------------------------------------------------
+
+def _parent() -> argparse.ArgumentParser:
+    return argparse.ArgumentParser(add_help=False)
+
+
+def seed_flags(default: int = 0) -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--seed", type=int, default=default,
+                        help="simulation seed (determinism gates)")
+    return parent
+
+
+def output_flags(help: str = "write the output to PATH instead of "
+                 "stdout") -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--output", default=None, metavar="PATH",
+                        help=help)
+    return parent
+
+
+def archive_flags() -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--archive", default=None, metavar="DIR",
+                        help="also persist the run archive at DIR "
+                             "(e.g. runs/a)")
+    return parent
+
+
+def sampling_flags(default_interval: int = 1000) -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--sample-interval", type=int,
+                        default=default_interval, metavar="CYCLES",
+                        help="probe sampling interval in cycles")
+    parent.add_argument("--sample-intervals", default=None,
+                        metavar="CAT=CYCLES,..",
+                        help="per-category probe intervals, e.g. "
+                             "noc=64,mem=256 (others use "
+                             "--sample-interval)")
+    return parent
+
+
+def jobs_flags(default: Optional[int] = 1,
+               help: str = "worker processes (0 = one per CPU)"
+               ) -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--jobs", type=jobs_count, default=default,
+                        metavar="N", help=help)
+    return parent
+
+
+def store_flags(default: Optional[str] = None) -> argparse.ArgumentParser:
+    """``--store``: the persistent sweep-point result store root.
+
+    Measuring commands default to None (no memoization unless asked);
+    ``repro cache`` passes the resolved default root instead.
+    """
+    parent = _parent()
+    parent.add_argument("--store", default=default, metavar="DIR",
+                        help="memoize sweep points in the result store "
+                             "at DIR (warm reruns skip simulation)")
+    return parent
+
+
+def format_flags(choices=("text", "json"),
+                 default: str = "text") -> argparse.ArgumentParser:
+    parent = _parent()
+    parent.add_argument("--format", choices=tuple(choices),
+                        default=default,
+                        help=f"output format (default: {default})")
+    return parent
+
+
+# ----------------------------------------------------------------------
+# Shared behaviors
+# ----------------------------------------------------------------------
+
+def emit(args, text: str, what: str = "output") -> None:
+    """Print ``text``, or write it to ``--output`` when given."""
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {what} to {output}")
+    else:
+        print(text)
+
+
+def command_line() -> Optional[list]:
+    """The ``repro ...`` command line for archive manifests, if evident."""
+    if sys.argv and sys.argv[0].endswith(("repro", "__main__.py")):
+        return ["repro"] + sys.argv[1:]
+    return None
+
+
+def write_archive(args, config, metrics, *, cycles=None,
+                  events_executed=None, wall_seconds=None,
+                  series=None, config_hash=None) -> None:
+    """Persist ``--archive`` for any measuring subcommand.
+
+    ``config_hash`` takes a sweep's precomputed hash so manifest and
+    store keys agree by construction.
+    """
+    from .obs import RunArchive
+    archive = RunArchive.write(
+        args.archive, metrics, config=config, cycles=cycles,
+        events_executed=events_executed, wall_seconds=wall_seconds,
+        series=series, config_hash=config_hash, command=command_line())
+    print(f"archived run {archive.run_id} under {archive.path}")

@@ -193,12 +193,13 @@ class Prototype:
 
     def latency_matrix(self, probes_per_pair: int = 1,
                        jobs: Optional[int] = None,
-                       with_metrics: bool = False):
+                       with_metrics: bool = False,
+                       store=None):
         """Full Fig. 7 heatmap: total_tiles x total_tiles round trips.
 
         With ``jobs=None`` every probe runs in-place on this prototype
         (the legacy serial scan).  Any other value routes through the
-        sharded engine in :mod:`repro.parallel`, which measures fixed
+        sweep engine in :mod:`repro.parallel`, which measures fixed
         sender-row shards on fresh prototypes — serially for ``jobs=1``,
         across a process pool for ``jobs>1``, one worker per CPU for
         ``jobs=0`` — with bit-identical results at every worker count.
@@ -206,9 +207,15 @@ class Prototype:
         ``with_metrics=True`` (sharded path only) returns ``(matrix,
         merged_metrics)``: every worker attaches a metrics-only observer
         and the shard dicts merge exactly, so the sweep archives the same
-        observability at any worker count.
+        observability at any worker count.  ``store`` (sharded path
+        only) memoizes every shard in a
+        :class:`~repro.store.ResultStore`, so a warm rerun skips
+        simulation for unchanged shards.
         """
         if jobs is None:
+            if store is not None:
+                raise ConfigError(
+                    "store requires the sharded path; pass jobs=")
             if with_metrics:
                 raise ConfigError(
                     "with_metrics requires the sharded path; pass jobs=")
@@ -224,9 +231,14 @@ class Prototype:
                         probe += 1
                     matrix[sender][receiver] = sum(samples) // len(samples)
             return matrix
-        from ..parallel import sharded_latency_matrix
-        return sharded_latency_matrix(self.config, probes_per_pair,
-                                      jobs=jobs, with_metrics=with_metrics)
+        from ..parallel import latency_matrix_spec, run_sweep
+        spec = latency_matrix_spec(
+            self.config, probes_per_pair=probes_per_pair,
+            obs_spec={} if with_metrics else None)
+        merged = run_sweep(spec, jobs=jobs, store=store).value
+        if with_metrics:
+            return merged["rows"], merged["metrics"]
+        return merged["rows"]
 
     # ------------------------------------------------------------------
     # Reporting

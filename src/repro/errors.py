@@ -32,3 +32,7 @@ class BuildError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was mis-specified or failed to execute."""
+
+
+class StoreError(ReproError):
+    """The persistent result store was given an invalid request."""

@@ -73,6 +73,11 @@ def config_hash(config) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+# Internal alias: RunArchive.write takes a ``config_hash`` keyword that
+# shadows the function inside the method body.
+_hash_config = config_hash
+
+
 def git_revision(cwd: Optional[str] = None) -> Optional[str]:
     """The current git commit hash, or None outside a repo / without git."""
     try:
@@ -170,11 +175,15 @@ class RunArchive:
               wall_seconds: Optional[float] = None,
               command: Optional[Sequence[str]] = None,
               series: Optional[Dict[str, list]] = None,
+              config_hash: Optional[str] = None,
               extra: Optional[Dict[str, object]] = None) -> "RunArchive":
         """Persist a run under ``path`` (the run directory itself).
 
         ``config`` may be a :class:`PrototypeConfig`; its label, seed,
         and :func:`config_hash` then fill the manifest unless overridden.
+        Sweeps that already hold a precomputed hash (``SweepResult.
+        config_hash``) pass it as ``config_hash`` so the manifest can
+        never disagree with the run's store keys.
         """
         path = str(path)
         os.makedirs(path, exist_ok=True)
@@ -192,9 +201,12 @@ class RunArchive:
                              else round(wall_seconds, 6)),
             "command": list(command) if command is not None else None,
         }
+        if config_hash is not None:
+            manifest["config_hash"] = config_hash
         if config is not None:
             manifest["config"] = label or config.label
-            manifest["config_hash"] = config_hash(config)
+            if config_hash is None:
+                manifest["config_hash"] = _hash_config(config)
             if seed is None:
                 manifest["seed"] = config.seed
         if extra:

@@ -11,7 +11,7 @@ levels together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..errors import ConfigError
 
@@ -42,6 +42,15 @@ class NumaMachine:
 
     def seconds(self, cycles: float) -> float:
         return cycles / self.frequency_hz
+
+    def to_dict(self) -> dict:
+        """JSON-safe field dump; floats survive the round trip exactly,
+        so ``from_dict(to_dict(m)) == m`` (the result-store contract)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NumaMachine":
+        return cls(**data)
 
 
 def machine_from_prototype(proto, probes: int = 6) -> NumaMachine:

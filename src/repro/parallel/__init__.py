@@ -10,20 +10,33 @@ simulations share state) is fixed independently of ``jobs``, every task
 derives its random seed from the root seed and its own identity, and the
 merge preserves task order.
 
-``run_tasks`` is the generic engine; :mod:`repro.parallel.probes` shards
-the latency-probe workloads and :mod:`repro.parallel.osmodel` the
-Fig. 8/9 OS-model sweeps on top of it.
+``run_tasks`` is the generic engine.  On top of it,
+:func:`~repro.parallel.sweep.run_sweep` is the one sweep entry point —
+a :class:`~repro.parallel.sweep.SweepSpec` names the config, the point
+list, the point function, and the merge, and optionally memoizes every
+point in a :class:`~repro.store.ResultStore` (warm reruns skip
+simulation entirely).  :mod:`repro.parallel.probes` builds the Fig. 7
+latency specs and :mod:`repro.parallel.osmodel` the Fig. 8/9 OS-model
+specs; the legacy ``sharded_*`` names remain as deprecated wrappers.
 """
 
-from .osmodel import sharded_fig8_series, sharded_fig9_series
-from .probes import probe_rows, sharded_latency_matrix
+from .osmodel import (fig8_spec, fig9_spec, sharded_fig8_series,
+                      sharded_fig9_series)
+from .probes import latency_matrix_spec, probe_rows, sharded_latency_matrix
 from .runner import env_jobs, fixed_shards, resolve_jobs, run_tasks, task_seed
+from .sweep import SweepResult, SweepSpec, run_sweep
 
 __all__ = [
+    "SweepResult",
+    "SweepSpec",
     "env_jobs",
+    "fig8_spec",
+    "fig9_spec",
     "fixed_shards",
+    "latency_matrix_spec",
     "probe_rows",
     "resolve_jobs",
+    "run_sweep",
     "run_tasks",
     "sharded_fig8_series",
     "sharded_fig9_series",

@@ -4,144 +4,205 @@ The Fig. 8 thread-scaling and Fig. 9 thread-allocation studies each
 evaluate the phase-level NPB IS model at a handful of sweep points, but
 every evaluation first needs a :class:`~repro.osmodel.NumaMachine`
 *measured* from the cycle-level prototype — and that measurement (a
-prototype build plus latency probes) dominates the wall clock.  Here the
-sweep is sharded one task per sweep point: each worker builds a fresh
-prototype, measures the machine once, and evaluates its point(s) on it,
-reusing the warm machine for both the NUMA-on and NUMA-off series.
+prototype build plus latency probes) dominates the wall clock.  The
+sweep is sharded one point per task: each worker builds a fresh
+prototype, measures the machine once, and evaluates its point on it.
 
-Determinism contract (same as the whole package): the prototype
-simulation is deterministic, so every worker measures a bit-identical
-``NumaMachine``; task composition and the per-task seeds derive only
-from the inputs, never from the worker count; and the merge preserves
-task order.  ``jobs=N`` therefore equals ``jobs=1`` equals the legacy
-serial ``fig8_series(machine_from_prototype(...))`` exactly — the tests
-assert all three.
+Both figures are now :class:`~repro.parallel.sweep.SweepSpec`\\ s
+(families ``"fig8"`` / ``"fig9"``) run through
+:func:`~repro.parallel.run_sweep` — which is also where the result store
+plugs in: a warm store returns the measured machine *and* the point's
+series values without building a single prototype, which is exactly the
+FireSim-AGFI-reuse economics the paper's Table 5 argues for.
 
-Each task carries a seed derived via :func:`~repro.parallel.task_seed`.
+Determinism contract (same as the whole package, extended to the
+cache): the prototype simulation is deterministic, so every worker
+measures a bit-identical ``NumaMachine``; task composition and per-task
+seeds derive only from the inputs; the merge preserves task order; and
+cached values are JSON-canonical, so *serial == parallel == cached ==
+legacy serial* exactly — the tests assert all of them.
+
+Each point carries a seed derived via :func:`~repro.parallel.task_seed`.
 The IS model is currently analytic, so workers do not consume it yet; it
-is part of the task contract so stochastic workload parameters can be
-added without changing the sharding or the merge.
+is part of the task contract (and the store key) so stochastic workload
+parameters can be added without changing the sharding, the merge, or
+cache addressing.
+
+:func:`sharded_fig8_series` / :func:`sharded_fig9_series` remain as
+deprecated thin wrappers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import dataclasses
+import warnings
+from typing import Dict, List, Optional
 
-from .runner import resolve_jobs, run_tasks, task_seed
+from .runner import resolve_jobs
+from .sweep import SweepSpec, run_sweep
 
-#: One sweep point: (thread count, active-node count or None for "all").
-SweepPoint = Tuple[int, Optional[int]]
-
-#: A worker task: (config, sweep points, IS model params, derived seed,
-#: observer spec).  ``obs_spec`` is None or kwargs for a metrics-only
-#: Observer attached to the worker's measurement prototype.
-ModelTask = Tuple[object, Tuple[SweepPoint, ...], object, int,
-                  Optional[dict]]
+#: Cache generation of :func:`model_point`; bump when the machine
+#: measurement or the IS model evaluation changes meaning.
+OSMODEL_POINT_VERSION = "1"
 
 
-def _model_points(task: ModelTask):
-    """Worker: measure the machine once, evaluate the shard's points.
+def model_point(config, point, _seed, obs_spec):
+    """Sweep point fn: measure the machine once, evaluate one point.
 
-    Returns ``(machine, [(numa_on_seconds, numa_off_seconds), ...])``,
-    with the worker's exported metrics dict appended when the task
-    carries an observer spec.
+    ``point`` is ``{"threads": n, "nodes": k | None, "params": {...}}``
+    (``nodes=None`` means no taskset pinning).  Returns
+    ``{"machine": machine dict, "values": [numa_on_s, numa_off_s],
+    "metrics": dict | None}``.
     """
     # Imported here: repro.core imports this package for its --jobs path.
     from ..core.prototype import Prototype
     from ..osmodel import Taskset, machine_from_prototype
-    from ..workloads.intsort import IntSortModel
+    from ..workloads.intsort import IntSortModel, IntSortParams
 
-    config, points, params, _seed, obs_spec = task
     obs = None
     if obs_spec is not None:
         from ..obs import Observer
         obs = Observer(tracing=False, **obs_spec)
     machine = machine_from_prototype(Prototype(config, obs=obs))
+    params = IntSortParams(**point["params"])
     on = IntSortModel(machine, numa_on=True, params=params)
     off = IntSortModel(machine, numa_on=False, params=params)
-    values = []
-    for n_threads, node_count in points:
-        taskset = None if node_count is None else Taskset.first_nodes(node_count)
-        values.append((on.runtime_seconds(n_threads, taskset),
-                       off.runtime_seconds(n_threads, taskset)))
-    if obs is None:
-        return machine, values
-    return machine, values, obs.export_metrics()
+    node_count = point["nodes"]
+    taskset = (None if node_count is None
+               else Taskset.first_nodes(node_count))
+    n_threads = point["threads"]
+    return {
+        "machine": machine.to_dict(),
+        "values": [on.runtime_seconds(n_threads, taskset),
+                   off.runtime_seconds(n_threads, taskset)],
+        "metrics": obs.export_metrics() if obs is not None else None,
+    }
 
 
-def _merged_metrics(results):
-    from ..obs.archive import merge_metric_shards
-    return merge_metric_shards([result[2] for result in results])
+def _merge_model_points(values: List[dict], axis: str,
+                        ticks: List[int]) -> Dict[str, object]:
+    merged: Dict[str, object] = {
+        "machine": values[0]["machine"],
+        "series": {
+            axis: ticks,
+            "numa_on": [value["values"][0] for value in values],
+            "numa_off": [value["values"][1] for value in values],
+        },
+        "metrics": None,
+    }
+    if values and values[0]["metrics"] is not None:
+        from ..obs.archive import merge_metric_shards
+        merged["metrics"] = merge_metric_shards(
+            [value["metrics"] for value in values])
+    return merged
+
+
+def _params_dict(params) -> dict:
+    from ..workloads.intsort import IntSortParams
+
+    if params is None:
+        params = IntSortParams()
+    return dataclasses.asdict(params)
+
+
+def fig8_spec(config, thread_counts=(3, 6, 12, 24, 48), params=None,
+              root_seed: int = 0,
+              obs_spec: Optional[dict] = None) -> SweepSpec:
+    """Fig. 8 (runtime vs thread count), one point per thread count."""
+    ticks = [int(t) for t in thread_counts]
+    point_params = _params_dict(params)
+    points = [{"threads": t, "nodes": None, "params": point_params}
+              for t in ticks]
+
+    def merge(values):
+        return _merge_model_points(values, "threads", ticks)
+
+    return SweepSpec(family="fig8", config=config, points=points,
+                     point_fn=model_point, merge_fn=merge,
+                     version=OSMODEL_POINT_VERSION, root_seed=root_seed,
+                     obs_spec=obs_spec)
+
+
+def fig9_spec(config, n_threads: int = 12, params=None,
+              root_seed: int = 0,
+              obs_spec: Optional[dict] = None) -> SweepSpec:
+    """Fig. 9 (threads pinned to 1..n nodes), one point per node count."""
+    node_counts = list(range(1, config.n_nodes + 1))
+    point_params = _params_dict(params)
+    points = [{"threads": int(n_threads), "nodes": k,
+               "params": point_params} for k in node_counts]
+
+    def merge(values):
+        return _merge_model_points(values, "active_nodes", node_counts)
+
+    return SweepSpec(family="fig9", config=config, points=points,
+                     point_fn=model_point, merge_fn=merge,
+                     version=OSMODEL_POINT_VERSION, root_seed=root_seed,
+                     obs_spec=obs_spec)
+
+
+def _wrap_legacy(spec, jobs, with_metrics):
+    from ..osmodel import NumaMachine
+
+    merged = run_sweep(spec, jobs=jobs).value
+    machine = NumaMachine.from_dict(merged["machine"])
+    if with_metrics:
+        return machine, merged["series"], merged["metrics"]
+    return machine, merged["series"]
 
 
 def sharded_fig8_series(config, thread_counts=(3, 6, 12, 24, 48),
                         params=None, jobs: Optional[int] = 1,
                         root_seed: int = 0, with_metrics: bool = False):
-    """Fig. 8 (runtime vs thread count), one worker task per thread count.
+    """Deprecated: build :func:`fig8_spec` and run it through
+    :func:`repro.parallel.run_sweep` instead.
 
-    Returns ``(machine, series)`` where ``series`` matches
-    :func:`repro.workloads.fig8_series` bit-for-bit at any ``jobs``.
-    ``jobs=1`` short-circuits to one in-process machine measurement.
-
-    ``with_metrics=True`` appends the shard-merged metrics dict to the
-    return and always routes through the per-point task path (the serial
-    short-circuit measures one machine, not one per point, and would
-    archive different observability than a parallel run).
+    Returns ``(machine, series)`` — matching
+    :func:`repro.workloads.fig8_series` bit-for-bit at any ``jobs`` —
+    with the shard-merged metrics dict appended when
+    ``with_metrics=True``.  ``jobs=1`` without metrics keeps the legacy
+    short-circuit (one in-process machine measurement).
     """
+    warnings.warn(
+        "sharded_fig8_series is deprecated; use "
+        "run_sweep(fig8_spec(config, ...)) instead",
+        DeprecationWarning, stacklevel=2)
     from ..core.prototype import Prototype
     from ..osmodel import machine_from_prototype
     from ..workloads.intsort import IntSortParams, fig8_series
 
-    if params is None:
-        params = IntSortParams()
     if not with_metrics and min(resolve_jobs(jobs),
                                 len(thread_counts)) <= 1:
         machine = machine_from_prototype(Prototype(config))
-        return machine, fig8_series(machine, thread_counts, params)
-    tasks: List[ModelTask] = [
-        (config, ((threads, None),), params,
-         task_seed(root_seed, "fig8", i), {} if with_metrics else None)
-        for i, threads in enumerate(thread_counts)]
-    results = run_tasks(_model_points, tasks, jobs=jobs)
-    series = {
-        "threads": list(thread_counts),
-        "numa_on": [result[1][0][0] for result in results],
-        "numa_off": [result[1][0][1] for result in results],
-    }
-    if with_metrics:
-        return results[0][0], series, _merged_metrics(results)
-    return results[0][0], series
+        return machine, fig8_series(machine, thread_counts,
+                                    params or IntSortParams())
+    spec = fig8_spec(config, thread_counts, params, root_seed,
+                     {} if with_metrics else None)
+    return _wrap_legacy(spec, jobs, with_metrics)
 
 
 def sharded_fig9_series(config, n_threads: int = 12, params=None,
                         jobs: Optional[int] = 1, root_seed: int = 0,
                         with_metrics: bool = False):
-    """Fig. 9 (threads pinned to 1..n nodes), one task per node count.
+    """Deprecated: build :func:`fig9_spec` and run it through
+    :func:`repro.parallel.run_sweep` instead.
 
     Returns ``(machine, series)`` matching
-    :func:`repro.workloads.fig9_series` bit-for-bit at any ``jobs``.
+    :func:`repro.workloads.fig9_series` bit-for-bit at any ``jobs``;
     ``with_metrics`` behaves as in :func:`sharded_fig8_series`.
     """
+    warnings.warn(
+        "sharded_fig9_series is deprecated; use "
+        "run_sweep(fig9_spec(config, ...)) instead",
+        DeprecationWarning, stacklevel=2)
     from ..core.prototype import Prototype
     from ..osmodel import machine_from_prototype
     from ..workloads.intsort import IntSortParams, fig9_series
 
-    if params is None:
-        params = IntSortParams()
-    node_counts = list(range(1, config.n_nodes + 1))
-    if not with_metrics and min(resolve_jobs(jobs), len(node_counts)) <= 1:
+    if not with_metrics and min(resolve_jobs(jobs), config.n_nodes) <= 1:
         machine = machine_from_prototype(Prototype(config))
-        return machine, fig9_series(machine, n_threads, params)
-    tasks: List[ModelTask] = [
-        (config, ((n_threads, k),), params,
-         task_seed(root_seed, "fig9", i), {} if with_metrics else None)
-        for i, k in enumerate(node_counts)]
-    results = run_tasks(_model_points, tasks, jobs=jobs)
-    series = {
-        "active_nodes": node_counts,
-        "numa_on": [result[1][0][0] for result in results],
-        "numa_off": [result[1][0][1] for result in results],
-    }
-    if with_metrics:
-        return results[0][0], series, _merged_metrics(results)
-    return results[0][0], series
+        return machine, fig9_series(machine, n_threads,
+                                    params or IntSortParams())
+    spec = fig9_spec(config, n_threads, params, root_seed,
+                     {} if with_metrics else None)
+    return _wrap_legacy(spec, jobs, with_metrics)

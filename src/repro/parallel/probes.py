@@ -5,59 +5,59 @@ probes.  Probes are sharded by sender row in fixed groups of
 :data:`ROWS_PER_SHARD`; each shard builds a fresh prototype in its worker
 and measures its rows on it.  Because shard composition and per-probe
 addresses depend only on the configuration — never on the worker count —
-``sharded_latency_matrix(config, jobs=4)`` is bit-identical to
-``jobs=1``.
+the matrix is bit-identical at every ``jobs`` value.
 
 (The shard size does shape the result slightly: rows within one shard
 share a prototype, exactly like consecutive rows of the legacy serial
-scan.  It is therefore part of the experiment definition, not a tuning
-knob to vary per run.)
+scan.  It is therefore part of the experiment definition — and of the
+result-store key — not a tuning knob to vary per run.)
 
-Observability rides along: with ``with_metrics=True`` every worker
-attaches a metrics-only :class:`~repro.obs.Observer` to its prototype and
-returns ``observer.export_metrics()`` next to its rows, and the parent
-folds the shard dicts with
-:func:`~repro.obs.archive.merge_metric_shards`.  Shard results and merge
-order depend only on the shard list, so the merged dict is byte-identical
-at every ``jobs`` value — a sharded sweep archives the same observability
-a serial sweep does.
+Everything here is expressed as a :class:`~repro.parallel.sweep.SweepSpec`
+(family ``"fig7"``): :func:`latency_matrix_spec` builds the spec,
+:func:`~repro.parallel.run_sweep` runs it, with optional
+:class:`~repro.store.ResultStore` memoization per shard.  Observability
+rides along as before: an ``obs_spec`` attaches a metrics-only
+:class:`~repro.obs.Observer` inside every worker and the shard dicts
+merge exactly, byte-identical at every worker count.
+
+:func:`sharded_latency_matrix` remains as a deprecated thin wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .runner import fixed_shards, run_tasks
+from .sweep import SweepSpec, run_sweep
 
 #: Sender rows measured per worker task.  Amortizes the prototype build
 #: (~1/3 of a row's probe time) while leaving enough shards to load
 #: several workers on the paper's 48-tile configuration.
 ROWS_PER_SHARD = 4
 
-#: A shard task: (config, sender rows, probes per pair, observer spec).
-#: ``obs_spec`` is None (no observability) or a kwargs dict for a
-#: metrics-only Observer built inside the worker.
-ShardTask = Tuple[object, Tuple[int, ...], int, Optional[dict]]
+#: Cache generation of :func:`measure_rows_point`; bump when the probe
+#: measurement changes meaning and stored Fig. 7 shards go stale.
+FIG7_POINT_VERSION = "1"
 
 
-def _measure_rows(task: ShardTask):
-    """Worker: build a fresh prototype and measure full receiver rows.
+def measure_rows_point(config, point, _seed, obs_spec):
+    """Sweep point fn: fresh prototype, full receiver rows for a shard.
 
-    Returns ``rows`` or, when the task carries an observer spec,
-    ``(rows, metrics_dict)``.
+    ``point`` is ``{"senders": [...], "probes_per_pair": k}``.  Returns
+    ``{"rows": [[cycles]], "metrics": dict | None}``.
     """
     # Imported here: repro.core imports this package for its --jobs path.
     from ..core.prototype import Prototype
 
-    config, senders, probes_per_pair, obs_spec = task
     obs = None
     if obs_spec is not None:
         from ..obs import Observer
         obs = Observer(tracing=False, **obs_spec)
     proto = Prototype(config, obs=obs)
     size = config.total_tiles
+    probes_per_pair = point["probes_per_pair"]
     rows = []
-    for sender in senders:
+    for sender in point["senders"]:
         row = []
         for receiver in range(size):
             # Same probe numbering as the serial scan: unique per sample,
@@ -69,24 +69,42 @@ def _measure_rows(task: ShardTask):
             ]
             row.append(sum(samples) // len(samples))
         rows.append(row)
-    if obs is None:
-        return rows
-    return rows, obs.export_metrics()
+    return {"rows": rows,
+            "metrics": obs.export_metrics() if obs is not None else None}
 
 
-def _shard_tasks(config, senders: Sequence[int], probes_per_pair: int,
-                 rows_per_shard: int,
-                 obs_spec: Optional[dict] = None) -> List[ShardTask]:
-    return [(config, tuple(shard), probes_per_pair, obs_spec)
-            for shard in fixed_shards(list(senders), rows_per_shard)]
+def merge_rows(values: List[dict]) -> Dict[str, object]:
+    """Concatenate shard rows in task order; exact-merge shard metrics."""
+    rows = [row for value in values for row in value["rows"]]
+    metrics = None
+    if values and values[0]["metrics"] is not None:
+        from ..obs.archive import merge_metric_shards
+        metrics = merge_metric_shards([value["metrics"]
+                                       for value in values])
+    return {"rows": rows, "metrics": metrics}
 
 
-def _merge(shard_results) -> Tuple[List[List[int]], Dict[str, object]]:
-    from ..obs.archive import merge_metric_shards
+def latency_matrix_spec(config, senders: Optional[Sequence[int]] = None,
+                        probes_per_pair: int = 1,
+                        rows_per_shard: int = ROWS_PER_SHARD,
+                        obs_spec: Optional[dict] = None,
+                        root_seed: int = 0) -> SweepSpec:
+    """The Fig. 7 probe sweep as a :class:`SweepSpec`.
 
-    rows = [row for result, _metrics in shard_results for row in result]
-    metrics = merge_metric_shards([m for _rows, m in shard_results])
-    return rows, metrics
+    ``senders=None`` covers every sender (the full heatmap).  The shard
+    composition is part of each point — and therefore of its store key —
+    so cached and fresh shards can never mix meanings.
+    """
+    from .runner import fixed_shards
+
+    if senders is None:
+        senders = range(config.total_tiles)
+    points = [{"senders": list(shard), "probes_per_pair": probes_per_pair}
+              for shard in fixed_shards(list(senders), rows_per_shard)]
+    return SweepSpec(family="fig7", config=config, points=points,
+                     point_fn=measure_rows_point, merge_fn=merge_rows,
+                     version=FIG7_POINT_VERSION, root_seed=root_seed,
+                     obs_spec=obs_spec)
 
 
 def sharded_latency_matrix(config, probes_per_pair: int = 1,
@@ -94,42 +112,49 @@ def sharded_latency_matrix(config, probes_per_pair: int = 1,
                            rows_per_shard: int = ROWS_PER_SHARD,
                            with_metrics: bool = False,
                            obs_spec: Optional[dict] = None):
-    """The Fig. 7 heatmap, sharded across ``jobs`` workers.
+    """Deprecated: build a spec with :func:`latency_matrix_spec` and run
+    it through :func:`repro.parallel.run_sweep` instead.
 
-    Output is identical for every ``jobs`` value (including serial
-    ``jobs=1``); see the module docstring for why.  With
-    ``with_metrics=True`` returns ``(matrix, merged_metrics)`` where the
-    merged dict is likewise identical at every worker count.
+    Output is unchanged: the matrix (list of rows), or ``(matrix,
+    merged_metrics)`` with ``with_metrics=True`` — identical at every
+    ``jobs`` value, as before.
     """
-    size = config.total_tiles
+    warnings.warn(
+        "sharded_latency_matrix is deprecated; use "
+        "run_sweep(latency_matrix_spec(config, ...)) instead",
+        DeprecationWarning, stacklevel=2)
     if with_metrics and obs_spec is None:
         obs_spec = {}
-    tasks = _shard_tasks(config, range(size), probes_per_pair,
-                         rows_per_shard,
-                         obs_spec if with_metrics else None)
-    shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    spec = latency_matrix_spec(config, probes_per_pair=probes_per_pair,
+                               rows_per_shard=rows_per_shard,
+                               obs_spec=obs_spec if with_metrics else None)
+    merged = run_sweep(spec, jobs=jobs).value
     if with_metrics:
-        return _merge(shard_rows)
-    return [row for rows in shard_rows for row in rows]
+        return merged["rows"], merged["metrics"]
+    return merged["rows"]
 
 
 def probe_rows(config, senders: Sequence[int], probes_per_pair: int = 1,
                jobs: Optional[int] = 1,
                rows_per_shard: int = 1,
                with_metrics: bool = False,
-               obs_spec: Optional[dict] = None):
+               obs_spec: Optional[dict] = None,
+               store=None):
     """Full receiver rows for selected ``senders`` (CLI ``latency``).
 
     Each sender gets its own fresh prototype by default
     (``rows_per_shard=1``), so the row set — unlike the full matrix scan —
     is independent of which senders were requested together.  With
-    ``with_metrics=True`` returns ``(rows, merged_metrics)``.
+    ``with_metrics=True`` returns ``(rows, merged_metrics)``.  A
+    ``store`` memoizes each shard under the ``"fig7"`` family.
     """
     if with_metrics and obs_spec is None:
         obs_spec = {}
-    tasks = _shard_tasks(config, senders, probes_per_pair, rows_per_shard,
-                         obs_spec if with_metrics else None)
-    shard_rows = run_tasks(_measure_rows, tasks, jobs=jobs)
+    spec = latency_matrix_spec(config, senders=senders,
+                               probes_per_pair=probes_per_pair,
+                               rows_per_shard=rows_per_shard,
+                               obs_spec=obs_spec if with_metrics else None)
+    merged = run_sweep(spec, jobs=jobs, store=store).value
     if with_metrics:
-        return _merge(shard_rows)
-    return [row for rows in shard_rows for row in rows]
+        return merged["rows"], merged["metrics"]
+    return merged["rows"]

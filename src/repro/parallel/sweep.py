@@ -1,0 +1,144 @@
+"""One sweep API: ``run_sweep(SweepSpec)`` with store-backed memoization.
+
+Every sharded experiment in this repo has the same shape: a
+configuration, a list of independent sweep points, a module-level point
+function evaluated once per point (in-process or across a process pool),
+and a merge that folds per-point values in task order.  ``run_sweep``
+is that shape as a single entry point; the legacy
+``sharded_latency_matrix`` / ``sharded_fig8_series`` /
+``sharded_fig9_series`` names are now thin deprecated wrappers over it.
+
+The store hook lives here and only here: when a
+:class:`~repro.store.ResultStore` is passed, every worker first checks
+the store under the point's content address — ``(family, version,
+config_hash, point, seed, obs spec)`` — and only simulates on a miss,
+publishing the result for the next run.  ``config_hash`` is computed
+**once** per sweep and travels inside every task payload, so store keys
+and archive manifests can never disagree within one run.
+
+Determinism contract (inherited from :mod:`repro.parallel.runner`, now
+extended to the cache): point values are canonicalized through a JSON
+round trip before anything compares or merges them, so *serial ==
+parallel == cached*, byte for byte, at any worker count — asserted by
+tests/test_store.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..store import ResultStore, canonical_value, entry_key
+from .runner import run_tasks, task_seed
+
+#: A worker task: (point fn, config, point payload, derived seed,
+#: observer spec, store root or None, store key payload).
+_SweepTask = Tuple[Callable, object, object, int, Optional[dict],
+                   Optional[str], Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Everything that defines one sharded sweep.
+
+    ``point_fn`` must be module-level (picklable) and pure:
+    ``point_fn(config, point, seed, obs_spec)`` returns a JSON-able
+    value.  ``merge_fn`` folds the ordered list of point values into the
+    sweep's result and must itself stay JSON-able.  ``version`` is the
+    point function's cache generation: bump it whenever the measurement
+    changes meaning and every stored entry for the family goes stale.
+    """
+
+    family: str
+    config: object
+    points: Sequence
+    point_fn: Callable
+    merge_fn: Optional[Callable] = None
+    version: str = "1"
+    root_seed: int = 0
+    obs_spec: Optional[dict] = None
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: the merged value plus cache accounting."""
+
+    value: object
+    values: List[object]
+    config_hash: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def points(self) -> int:
+        return len(self.values)
+
+    warm: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.warm = bool(self.values) and self.misses == 0 and self.hits > 0
+
+
+def _sweep_worker(task: _SweepTask):
+    """Evaluate one sweep point, consulting the store first.
+
+    Returns ``(canonical value, hit?, evictions, writes)`` — the cache
+    counters ride back to the parent, which folds them into the caller's
+    store instance (workers run in separate processes).
+    """
+    point_fn, config, point, seed, obs_spec, store_root, payload = task
+    store = None
+    if store_root is not None:
+        store = ResultStore(store_root)
+        found, value = store.load(entry_key(payload))
+        if found:
+            return value, True, store.evictions, 0
+    value = canonical_value(point_fn(config, point, seed, obs_spec))
+    if store is not None:
+        store.put(entry_key(payload), value, payload=payload)
+    return (value, False,
+            store.evictions if store else 0,
+            store.writes if store else 0)
+
+
+def run_sweep(spec: SweepSpec, jobs: Optional[int] = 1,
+              store: Optional[ResultStore] = None) -> SweepResult:
+    """Run one sweep: shard, memoize, merge.
+
+    ``jobs`` follows the package contract (1 = in-process serial, N = a
+    process pool, 0/None = one worker per CPU; results identical
+    everywhere).  With a ``store``, every point is looked up before it is
+    simulated and published after; the caller's store instance ends up
+    with the whole sweep's hit/miss/evict/write counters regardless of
+    where the workers ran.
+    """
+    from ..obs.archive import config_hash
+
+    cfg_hash = config_hash(spec.config)
+    store_root = store.root if store is not None else None
+    tasks: List[_SweepTask] = []
+    for index, point in enumerate(spec.points):
+        point = canonical_value(point)
+        seed = task_seed(spec.root_seed, spec.family, index)
+        payload = {
+            "family": spec.family,
+            "version": spec.version,
+            "config_hash": cfg_hash,
+            "point": point,
+            "seed": seed,
+            "obs": spec.obs_spec,
+        }
+        tasks.append((spec.point_fn, spec.config, point, seed,
+                      spec.obs_spec, store_root, payload))
+    results = run_tasks(_sweep_worker, tasks, jobs=jobs)
+    values = [value for value, _hit, _evicted, _writes in results]
+    hits = sum(1 for _v, hit, _e, _w in results if hit)
+    misses = len(results) - hits
+    evictions = sum(evicted for _v, _h, evicted, _w in results)
+    if store is not None:
+        store.record(hits=hits, misses=misses, evictions=evictions,
+                     writes=sum(w for _v, _h, _e, w in results))
+    merged = spec.merge_fn(values) if spec.merge_fn else values
+    return SweepResult(value=merged, values=values, config_hash=cfg_hash,
+                       hits=hits, misses=misses, evictions=evictions)

@@ -69,3 +69,101 @@ class TestCost:
         assert "smappic" in out
         assert "SPECint 2017" in out
         assert "sniper" in out
+
+
+class TestLatencyStore:
+    def test_latency_store_requires_jobs(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["latency", "1x1x4", "--store", store]) == 2
+        assert "pass --jobs" in capsys.readouterr().err
+
+    def test_latency_cold_then_warm_identical_output(self, tmp_path,
+                                                     capsys):
+        import os
+        store = str(tmp_path / "store")
+        assert main(["latency", "2x1x2", "--jobs", "1",
+                     "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert os.path.isdir(store)
+        assert main(["latency", "2x1x2", "--jobs", "2",
+                     "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+
+class TestCache:
+    @staticmethod
+    def _populate(store_root):
+        from repro import parse_config
+        from repro.parallel import latency_matrix_spec, run_sweep
+        from repro.store import ResultStore
+        store = ResultStore(store_root)
+        run_sweep(latency_matrix_spec(parse_config("1x2x2")), store=store)
+        return store
+
+    def test_cache_ls_empty(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["cache", "ls", "--store", store]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_ls_lists_families(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._populate(store)
+        assert main(["cache", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "senders" in out
+
+    def test_cache_ls_json(self, tmp_path, capsys):
+        import json
+        store = str(tmp_path / "store")
+        self._populate(store)
+        assert main(["cache", "ls", "--store", store,
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["payload"]["family"] == "fig7"
+        assert "config_hash" in rows[0]["payload"]
+
+    def test_cache_stats(self, tmp_path, capsys):
+        import json
+        store = str(tmp_path / "store")
+        populated = self._populate(store)
+        assert main(["cache", "stats", "--store", store,
+                     "--format", "json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == len(populated.entries())
+        assert stats["bytes"] > 0
+
+    def test_cache_gc_needs_a_policy_flag(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--store",
+                     str(tmp_path / "store")]) == 2
+        assert "max-age" in capsys.readouterr().err
+
+    def test_cache_gc_covers_store_and_runs(self, tmp_path, capsys):
+        import os
+        from repro.obs.archive import RunArchive
+        store_root = str(tmp_path / "store")
+        store = self._populate(store_root)
+        runs = tmp_path / "runs"
+        RunArchive.write(str(runs / "old-run"), {"m": 1},
+                         label="1x2x2", seed=0)
+        past = os.path.getmtime(store.entries()[0].path) - 9000
+        for entry in store.entries():
+            os.utime(entry.path, (past, past))
+        for dirpath, _dirs, files in os.walk(runs / "old-run"):
+            for name in files:
+                os.utime(os.path.join(dirpath, name), (past, past))
+        assert main(["cache", "gc", "--store", store_root,
+                     "--runs", str(runs), "--max-age", "1h"]) == 0
+        out = capsys.readouterr().out
+        assert store.entries() == []
+        assert not os.path.exists(runs / "old-run")
+        assert "removed" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        store_root = str(tmp_path / "store")
+        store = self._populate(store_root)
+        assert len(store.entries()) > 0
+        assert main(["cache", "clear", "--store", store_root]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert store.entries() == []
