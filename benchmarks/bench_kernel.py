@@ -1,23 +1,34 @@
-"""Kernel microbenchmark: typed fast path vs generic vs the seed kernel.
+"""Kernel microbenchmark: typed fast path, batch lanes, compiled drain.
 
-Pits the current :class:`repro.engine.Simulator` — on both its generic
-``schedule()`` path and the :class:`~repro.engine.ConstLatencyChannel`
-typed fast path — against a frozen inline copy of the seed kernel
-(allocate-per-event, one heap entry per event, lazy cancellation without
-accounting) on a self-propagating event storm: the schedule/dispatch
-pattern that dominates every simulation in this repo.  Writes
-``BENCH_kernel.json`` at the repo root so CI and future sessions can
-track kernel throughput.
+Pits the current :class:`repro.engine.Simulator` — the generic
+``schedule()`` path, the :class:`~repro.engine.ConstLatencyChannel`
+typed fast path, the batched ``send_many`` lanes, and the compiled
+event-drain kernel (``REPRO_KERNEL=accel``) — against a frozen inline
+copy of the seed kernel (allocate-per-event, one heap entry per event,
+lazy cancellation without accounting) on self-propagating event storms:
+the schedule/dispatch patterns that dominate every simulation in this
+repo.  Writes ``BENCH_kernel.json`` at the repo root so CI and future
+sessions can track kernel throughput.
 
-The storm is deterministic (LCG-derived delays), exercises same-cycle
-ties, short mixed delays, and cancellation pressure.  The channel storm
-is additionally run on ``Simulator(fast_path=False)`` (every send routed
-through the generic scheduler) and the two execution traces are compared
-bit-for-bit, as are the serial and parallel Fig. 7 matrices.
+Two storms:
+
+* the *channel storm* — single-payload sends, the PR 2 shape — measured
+  on the pure-Python drain for gate continuity
+  (``new_kernel_events_per_sec``);
+* the *batch storm* — every hop issues a 16-wide ``send_many`` burst,
+  the router-drain/flit-train shape — measured on the Python drain
+  (``batch_kernel_events_per_sec``) and the compiled drain
+  (``accel_kernel_events_per_sec``).
+
+Both storms are deterministic (LCG-derived delays), exercise same-cycle
+ties, short mixed delays, and cancellation pressure, and are replayed
+under every ``fast_path`` x ``REPRO_KERNEL`` combination with the
+execution traces compared bit-for-bit, as are the serial/parallel and
+accel/python Fig. 7 matrices.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``, used by the per-push CI gate) runs
-only the fast-path storm plus the determinism checks and writes the
-measured throughput to ``BENCH_kernel_smoke.json``; the regression
+only the gated storms plus the determinism checks and writes the
+measured throughputs to ``BENCH_kernel_smoke.json``; the regression
 verdict itself lives in CI as ``repro diff --gate
 benchmarks/kernel_gate.json BENCH_kernel_smoke.json`` against the
 committed baseline (30% one-sided tolerance: only slowdowns fail).
@@ -41,6 +52,19 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 #: The schedule-storm number shipped by the calendar-queue PR, kept for
 #: context in the report (the committed JSON is the regression baseline).
 PR1_EVENTS_PER_SEC = 1_080_528
+
+#: True when the compiled drain actually built on this host (no C
+#: compiler -> transparent fallback, and the accel numbers are skipped).
+ACCEL_AVAILABLE = Simulator(kernel="accel").kernel == "accel"
+
+
+def _python_sim():
+    return Simulator(kernel="python")
+
+
+def _accel_sim():
+    return Simulator(kernel="accel")
+
 
 # ----------------------------------------------------------------------
 # Frozen seed kernel (verbatim behaviour of the v0 Simulator fast path).
@@ -105,6 +129,14 @@ N_CHAINS = 1024
 HOPS_PER_CHAIN = 190
 CANCEL_EVERY = 95
 
+#: Batch-storm shape: every hop issues one BATCH_WIDTH-wide send_many
+#: burst (one live continuation token + terminal filler), the pattern of
+#: router drains, link flit trains, and BPC backlog releases.
+BATCH_WIDTH = 16
+BATCH_CHAINS = 256
+BATCH_HOPS = 60
+BATCH_CANCEL_EVERY = 10
+
 
 def _storm(sim) -> int:
     """Generic-path storm on ``sim``; returns events executed."""
@@ -168,6 +200,43 @@ def _channel_storm(sim, trace=None) -> int:
     return sim.run()
 
 
+def _batch_storm(sim, trace=None) -> int:
+    """The burst-producer storm: one send_many per hop.
+
+    Tokens are ``(hops, rand)`` tuples; each live hop emits a
+    BATCH_WIDTH-wide burst whose last token carries the chain and the
+    rest terminate on arrival — the one-live-head, many-terminal-tails
+    shape of a router drain.  Every BATCH_CANCEL_EVERY hops a 4-wide
+    burst is issued and immediately cancelled to keep compaction
+    pressure on the batched buckets.
+    """
+
+    def fire(token):
+        hops, rand = token
+        if hops <= 0:
+            return
+        rand = (rand * 1103515245 + 12345) & 0x7FFFFFFF
+        if trace is not None:
+            trace.append((sim.now, rand))
+        if hops % BATCH_CANCEL_EVERY == 0:
+            for victim in cancel_lanes[rand % 11].send_many((0, 0, 0, 0)):
+                sim.cancel(victim)
+        burst = [(0, rand)] * (BATCH_WIDTH - 1)
+        burst.append((hops - 1, rand))
+        lanes[rand % 7].send_many(burst)
+
+    def noop(payload):
+        pass
+
+    lanes = [sim.channel(delay, fire) for delay in range(7)]
+    cancel_lanes = [sim.channel(delay, noop) for delay in range(11)]
+    starters = [sim.channel(delay, fire) for delay in range(5)]
+    for chain in range(BATCH_CHAINS):
+        starters[chain % 5].send_many(
+            [(BATCH_HOPS, (chain * 2654435761) & 0x7FFFFFFF)])
+    return sim.run()
+
+
 def _events_per_second(sim_factory, storm, rounds: int = 4) -> float:
     best = 0.0
     for _ in range(rounds):
@@ -179,70 +248,116 @@ def _events_per_second(sim_factory, storm, rounds: int = 4) -> float:
     return best
 
 
-def _fast_path_trace_identical() -> bool:
-    """Channel storm on fast_path=True vs False: bit-identical traces."""
-    fast_trace, generic_trace = [], []
-    n_fast = _channel_storm(Simulator(fast_path=True), trace=fast_trace)
-    n_generic = _channel_storm(Simulator(fast_path=False),
-                               trace=generic_trace)
-    return n_fast == n_generic and fast_trace == generic_trace
+def _traces_identical(storm) -> bool:
+    """Replay ``storm`` under every fast_path x kernel combination and
+    compare the execution traces bit-for-bit."""
+    reference = None
+    for fast_path in (True, False):
+        for kernel in ("python", "accel"):
+            trace = []
+            executed = storm(Simulator(fast_path=fast_path, kernel=kernel),
+                             trace=trace)
+            if reference is None:
+                reference = (executed, trace)
+            elif (executed, trace) != reference:
+                return False
+    return True
 
 
-def _fig7_matrix(jobs, fast_path=True):
-    proto = Prototype(parse_config("4x1x12"), fast_path=fast_path)
-    start = time.perf_counter()
-    matrix = proto.latency_matrix(jobs=jobs)
-    return time.perf_counter() - start, matrix
+def _fig7_matrix(jobs, fast_path=True, kernel=None):
+    # The sharded path builds fresh prototypes in workers, so the kernel
+    # selection travels via the environment (inherited at fork).
+    saved = os.environ.get("REPRO_KERNEL")
+    if kernel is not None:
+        os.environ["REPRO_KERNEL"] = kernel
+    try:
+        proto = Prototype(parse_config("4x1x12"), fast_path=fast_path,
+                          kernel=kernel)
+        start = time.perf_counter()
+        matrix = proto.latency_matrix(jobs=jobs)
+        return time.perf_counter() - start, matrix
+    finally:
+        if kernel is not None:
+            if saved is None:
+                os.environ.pop("REPRO_KERNEL", None)
+            else:
+                os.environ["REPRO_KERNEL"] = saved
 
 
 def test_kernel_throughput(benchmark, report):
     if SMOKE:
-        # Per-push CI smoke: the fast-path storm plus the bit-identity
-        # checks.  Writes the measurement to BENCH_kernel_smoke.json; the
-        # regression verdict is CI's `repro diff --gate
+        # Per-push CI smoke: the two gated storms plus the bit-identity
+        # checks.  Writes the measurements to BENCH_kernel_smoke.json;
+        # the regression verdict is CI's `repro diff --gate
         # benchmarks/kernel_gate.json` step, not an assert here.  Never
         # rewrites BENCH_kernel.json.
         baseline = json.loads((REPO_ROOT / "BENCH_kernel.json").read_text())
         eps = benchmark.pedantic(
-            _events_per_second, args=(Simulator, _channel_storm),
+            _events_per_second, args=(_python_sim, _channel_storm),
             kwargs={"rounds": 2}, iterations=1, rounds=1)
-        assert _fast_path_trace_identical(), \
-            "fast-path trace differs from generic-path trace"
-        (REPO_ROOT / "BENCH_kernel_smoke.json").write_text(json.dumps(
-            {"new_kernel_events_per_sec": round(eps)}, indent=2) + "\n")
+        accel_eps = _events_per_second(_accel_sim, _batch_storm, rounds=2)
+        assert _traces_identical(_channel_storm), \
+            "channel storm trace differs across fast_path x kernel modes"
+        assert _traces_identical(_batch_storm), \
+            "batch storm trace differs across fast_path x kernel modes"
+        smoke = {"new_kernel_events_per_sec": round(eps)}
+        if ACCEL_AVAILABLE:
+            smoke["accel_kernel_events_per_sec"] = round(accel_eps)
+        else:
+            # No C compiler: the accel storm silently ran on the Python
+            # drain; omit the metric so the gate's accel rule is a no-op
+            # instead of a false regression.
+            smoke["accel_kernel_unavailable"] = True
+        (REPO_ROOT / "BENCH_kernel_smoke.json").write_text(
+            json.dumps(smoke, indent=2) + "\n")
         report("kernel_throughput", "\n".join([
-            f"smoke: fast path {eps:,.0f} events/s "
-            f"(committed baseline "
+            f"smoke: fast path {eps:,.0f} events/s, batch+accel "
+            f"{accel_eps:,.0f} events/s "
+            f"(accel {'built' if ACCEL_AVAILABLE else 'UNAVAILABLE'}; "
+            f"committed baseline "
             f"{baseline['new_kernel_events_per_sec']:,}; gated by "
             f"`repro diff --gate benchmarks/kernel_gate.json "
             f"BENCH_kernel_smoke.json`)",
         ]))
         return
 
-    # Interleave the three kernels round by round so load spikes hit all
-    # of them evenly and best-of stays a fair comparison.
+    # Interleave the kernels round by round so load spikes hit all of
+    # them evenly and best-of stays a fair comparison.
     seed_eps = generic_eps = channel_eps = 0.0
+    batch_eps = accel_eps = 0.0
     for _ in range(4):
         seed_eps = max(seed_eps,
                        _events_per_second(SeedSimulator, _storm, rounds=1))
         generic_eps = max(generic_eps,
-                          _events_per_second(Simulator, _storm, rounds=1))
+                          _events_per_second(_python_sim, _storm, rounds=1))
         channel_eps = max(channel_eps, _events_per_second(
-            Simulator, _channel_storm, rounds=1))
+            _python_sim, _channel_storm, rounds=1))
+        batch_eps = max(batch_eps, _events_per_second(
+            _python_sim, _batch_storm, rounds=1))
+        accel_eps = max(accel_eps, _events_per_second(
+            _accel_sim, _batch_storm, rounds=1))
     benchmark.pedantic(_events_per_second,
-                       args=(Simulator, _channel_storm),
+                       args=(_python_sim, _channel_storm),
                        kwargs={"rounds": 1}, iterations=1, rounds=1)
     speedup = generic_eps / seed_eps
     fast_gain = channel_eps / generic_eps
+    batch_gain = batch_eps / channel_eps
+    accel_gain = accel_eps / batch_eps
 
-    assert _fast_path_trace_identical(), \
-        "fast-path trace differs from generic-path trace"
+    assert _traces_identical(_channel_storm), \
+        "channel storm trace differs across fast_path x kernel modes"
+    assert _traces_identical(_batch_storm), \
+        "batch storm trace differs across fast_path x kernel modes"
 
     cpus = os.cpu_count() or 1
     fig7_fast, matrix_fast = _fig7_matrix(jobs=1)
     fig7_generic, matrix_generic = _fig7_matrix(jobs=1, fast_path=False)
     assert matrix_fast == matrix_generic, \
         "fig7 matrix differs between fast path and generic path"
+    fig7_accel, matrix_accel = _fig7_matrix(jobs=1, kernel="accel")
+    fig7_python, matrix_python = _fig7_matrix(jobs=1, kernel="python")
+    assert matrix_accel == matrix_python == matrix_fast, \
+        "fig7 matrix differs between accel and python kernels"
     if cpus >= 2:
         fig7_parallel, matrix_parallel = _fig7_matrix(jobs=0)
         assert matrix_parallel == matrix_fast, \
@@ -252,17 +367,26 @@ def test_kernel_throughput(benchmark, report):
 
     results = {
         "storm_events": N_CHAINS * (HOPS_PER_CHAIN + 1),
+        "batch_storm_events": None,  # filled below from a counted run
         "seed_kernel_events_per_sec": round(seed_eps),
         "generic_kernel_events_per_sec": round(generic_eps),
         "new_kernel_events_per_sec": round(channel_eps),
+        "batch_kernel_events_per_sec": round(batch_eps),
+        "accel_kernel_events_per_sec": round(accel_eps),
+        "kernel_accel_available": ACCEL_AVAILABLE,
         "kernel_speedup": round(channel_eps / seed_eps, 2),
         "fast_path_vs_generic": round(fast_gain, 2),
+        "batch_vs_single_send": round(batch_gain, 2),
+        "accel_vs_python_drain": round(accel_gain, 2),
         "fig7_serial_seconds": round(fig7_fast, 3),
         "fig7_generic_path_seconds": round(fig7_generic, 3),
+        "fig7_accel_seconds": round(fig7_accel, 3),
+        "fig7_python_kernel_seconds": round(fig7_python, 3),
         "fig7_parallel_seconds": round(fig7_parallel, 3),
         "fig7_parallel_jobs": cpus,
         "cpu_count": cpus,
     }
+    results["batch_storm_events"] = _batch_storm(Simulator())
     (REPO_ROOT / "BENCH_kernel.json").write_text(
         json.dumps(results, indent=2) + "\n")
 
@@ -272,15 +396,28 @@ def test_kernel_throughput(benchmark, report):
         f"typed fast path: {channel_eps:,.0f} events/s  "
         f"({fast_gain:.2f}x generic, "
         f"{channel_eps / PR1_EVENTS_PER_SEC:.2f}x the PR 1 number)",
+        f"batch lanes (python drain): {batch_eps:,.0f} events/s  "
+        f"({batch_gain:.2f}x single sends)",
+        f"batch lanes + compiled drain: {accel_eps:,.0f} events/s  "
+        f"({accel_gain:.2f}x python drain"
+        f"{'' if ACCEL_AVAILABLE else '; accel UNAVAILABLE, ran python'})",
         f"fig7 matrix: {fig7_fast:.2f}s fast path, {fig7_generic:.2f}s "
-        f"generic path, {fig7_parallel:.2f}s with jobs={cpus}",
+        f"generic path, {fig7_accel:.2f}s accel kernel, "
+        f"{fig7_parallel:.2f}s with jobs={cpus}",
     ]))
 
     # Tentpole acceptance: the calendar-queue kernel is >= 3x the seed
-    # kernel on the storm, and the typed fast path beats the generic path.
+    # kernel on the storm, the typed fast path beats the generic path,
+    # batch lanes alone are >= 1.3x single sends on the Python drain,
+    # and the compiled drain pushes the batch storm past 3.5M events/s.
     assert speedup >= 3.0, f"kernel speedup {speedup:.2f}x < 3x"
     assert fast_gain >= 1.05, \
         f"typed fast path only {fast_gain:.2f}x the generic path"
+    assert batch_gain >= 1.3, \
+        f"batch lanes only {batch_gain:.2f}x single-payload sends"
+    if ACCEL_AVAILABLE:
+        assert accel_eps >= 3_500_000, \
+            f"compiled drain only {accel_eps:,.0f} events/s < 3.5M"
     # Parallel acceptance only holds where there are cores to use.
     if cpus >= 4:
         assert fig7_fast / fig7_parallel >= 2.0, (

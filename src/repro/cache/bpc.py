@@ -235,8 +235,8 @@ class Bpc(Component):
         if waiters is None:
             raise ProtocolError(f"{self.name}: WbAck for line {line:#x} "
                                 "not being written back")
-        for op in waiters:
-            self._replay_lane.send(op)
+        if waiters:
+            self._replay_lane.send_many(waiters)
 
     def _invalidate(self, line: int) -> None:
         if line in self._evicting:
@@ -274,8 +274,14 @@ class Bpc(Component):
                       self.homing.home_of(line, self.tile))
 
     def _drain_backlog(self) -> None:
-        while self._backlog and len(self._mshrs) < self.max_mshrs:
-            self._replay_lane.send(self._backlog.popleft())
+        # The replay is asynchronous (zero-delay lane), so `_mshrs` cannot
+        # change while this drains: one free MSHR releases the *entire*
+        # backlog, every op re-arbitrating at `_lookup` — which is exactly
+        # what the historical one-at-a-time loop did.  Batch the release.
+        if self._backlog and len(self._mshrs) < self.max_mshrs:
+            burst = list(self._backlog)
+            self._backlog.clear()
+            self._replay_lane.send_many(burst)
 
     # ------------------------------------------------------------------
     # Introspection (tests, invariant checks)

@@ -30,6 +30,8 @@ from .msgs import (LINE_BYTES, CoherenceMsg, DataM, DataS, Downgrade,
                    DowngradeData, GetM, GetS, Inv, InvAck, PutM, WbAck)
 
 MsgSender = Callable[[CoherenceMsg, TileAddr], None]
+#: Batch sender: a sequence of (msg, dst) pairs injected in one burst.
+MsgsSender = Callable[[list], None]
 #: Sends a memory request to the chipset of a given node.
 MemSender = Callable[[object, int], None]
 
@@ -70,6 +72,7 @@ class LlcSlice(Component):
 
     def __init__(self, sim: Simulator, name: str, tile: TileAddr,
                  send_msg: MsgSender, send_mem: MemSender,
+                 send_msgs: Optional[MsgsSender] = None,
                  memory_node: Optional[Callable[[int], int]] = None,
                  size_bytes: int = 64 * 1024, ways: int = 4,
                  access_latency: int = 20):
@@ -77,6 +80,13 @@ class LlcSlice(Component):
         self.tile = tile
         self.send_msg = send_msg
         self.send_mem = send_mem
+        if send_msgs is None:
+            # Fallback batch sender for wirings that only provide the
+            # per-message hook (tests, standalone slices).
+            def send_msgs(pairs, _send=send_msg):
+                for msg, dst in pairs:
+                    _send(msg, dst)
+        self.send_msgs = send_msgs
         # Which node's DRAM backs a line; defaults to this slice's node.
         self.memory_node = memory_node or (lambda line: tile.node)
         self.array = CacheArray(size_bytes, ways, LINE_BYTES)
@@ -85,10 +95,12 @@ class LlcSlice(Component):
         self._queued: Dict[int, deque] = {}
         self._mem_reads: Dict[int, Callable[[bytes], None]] = {}
         self._mem_writes: Dict[int, Callable[[], None]] = {}
-        # Pipeline fast lanes: the slice access latency and the zero-delay
-        # redispatch of a request queued behind a completed transaction.
+        # Pipeline fast lanes: the slice access latency, the zero-delay
+        # redispatch of a request queued behind a completed transaction,
+        # and the zero-delay completion hooks (batched per transaction).
         self._dispatch_lane = sim.channel(access_latency, self._dispatch)
         self._redispatch_lane = sim.channel(0, self._dispatch)
+        self._hook_lane = sim.channel(0, self._run_hook)
         sim.obs.register_gauge(f"{name}.busy_lines", self._active.__len__,
                                category="cache")
 
@@ -227,8 +239,8 @@ class LlcSlice(Component):
                 return
             txn.acks_needed = len(targets)
             txn.continuation = grant
-            for sharer in sorted(targets):
-                self.send_msg(Inv(txn.line, self.tile), sharer)
+            self.send_msgs([(Inv(txn.line, self.tile), sharer)
+                            for sharer in sorted(targets)])
             return
         # dir M elsewhere: invalidate the owner, take its data.
         owner = payload.owner
@@ -379,14 +391,18 @@ class LlcSlice(Component):
         elif payload.dir_state == "S" and payload.sharers:
             txn.acks_needed = len(payload.sharers)
             txn.continuation = writeback_and_finish
-            for sharer in sorted(payload.sharers):
-                self.send_msg(Inv(line, self.tile), sharer)
+            self.send_msgs([(Inv(line, self.tile), sharer)
+                            for sharer in sorted(payload.sharers)])
         else:
             writeback_and_finish()
 
     # ------------------------------------------------------------------
     # Completion and queue draining
     # ------------------------------------------------------------------
+    @staticmethod
+    def _run_hook(hook: Callable[[], None]) -> None:
+        hook()
+
     def _complete(self, txn: _Txn) -> None:
         self.stats.observe("txn_latency", self.now - txn.started_at)
         self.obs.llc_txn(self, txn.line, txn.started_at)
@@ -397,8 +413,8 @@ class LlcSlice(Component):
             if not queue:
                 del self._queued[txn.line]
             self._redispatch_lane.send(msg)
-        for hook in txn.on_complete:
-            self.schedule(0, hook)
+        if txn.on_complete:
+            self._hook_lane.send_many(txn.on_complete)
 
     # ------------------------------------------------------------------
     # Introspection

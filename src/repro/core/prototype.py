@@ -32,15 +32,16 @@ class Prototype:
     """A fully built SMAPPIC system."""
 
     def __init__(self, config: PrototypeConfig, fast_path: bool = True,
-                 obs=None):
+                 obs=None, kernel: Optional[str] = None):
         self.config = config
         # fast_path=False routes every constant-latency hop through the
         # generic scheduler — slower, but lets tests assert the typed fast
         # path is bit-identical (see tests/test_determinism.py).
         # obs takes a repro.obs.Observer; components register their stats,
         # gauges, and links with it as they are built, so it must be in
-        # place before the node list below.
-        self.sim = Simulator(fast_path=fast_path, obs=obs)
+        # place before the node list below.  kernel picks the event-drain
+        # implementation ("accel"/"python", default from REPRO_KERNEL).
+        self.sim = Simulator(fast_path=fast_path, obs=obs, kernel=kernel)
         self.obs = self.sim.obs
         self.addrmap = AddressMap(config.n_nodes, config.dram_bytes_per_node)
         self.homing = self._build_homing(config)

@@ -1,0 +1,497 @@
+"""Compiled event-drain kernel (the ``REPRO_KERNEL=accel`` backend).
+
+The calendar-queue drain loops in :mod:`repro.engine.simulator` are pure
+interpreter: per event they pay an index fetch, a cancelled check, a
+priority check, a payload-kind branch and a callback invocation, all in
+bytecode.  This module moves the bucket-scan/advance portion of
+``_run_unbounded`` / ``_run_bounded`` into a small C shim compiled on
+demand with the system C compiler and loaded through
+``importlib.machinery.ExtensionFileLoader``.
+
+Design constraints, in order:
+
+* **Bit identity.**  The C loop is a line-for-line port of the Python
+  drain: same bucket order, same cancelled-collection accounting, same
+  priority-sort trigger, same exception cleanup (consumed prefix recycled,
+  tail kept).  ``Simulator(kernel="python")`` runs the Python reference
+  and the tests diff the two event-for-event.
+* **Flat hot state.**  The per-event fields the scan touches (``time``,
+  ``priority``, ``callback``, ``args``, ``payload``, ``cancelled``) live
+  in ``Event.__slots__``, which CPython lays out at fixed offsets inside
+  the object — the C side resolves those offsets once at init (from the
+  slot descriptors) and then reads the event pool like a flat C struct
+  array, with no attribute hashing on the hot path.  Simulator-side
+  scalars (``now``, ``_draining``, ``_ncancelled``) are synced per bucket
+  / per rare event, never per hot event.
+* **Auto-fallback.**  Anything missing — no C compiler, no Python
+  headers, a failed compile, a failed layout self-test — downgrades to
+  the Python loops silently (``unavailable_reason()`` says why).  The
+  accelerator is an optimization, never a requirement.
+
+The compiled object is cached under ``_drain_cache/`` next to this file
+(override with ``REPRO_KERNEL_CACHE``), keyed by source hash and Python
+ABI, and built atomically (unique temp name + ``os.replace``) so parallel
+sweep workers can race the first build safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from typing import Optional
+
+#: Resolution states for the lazily-built module.
+_module = None
+_resolved = False
+_reason: Optional[str] = None
+
+_C_SOURCE = r"""
+/* Compiled drain for the repro calendar-queue kernel.
+ *
+ * Faithful port of Simulator._run_unbounded / _run_bounded: one combined
+ * drain() whose bounded behaviour is selected by non-None until /
+ * max_events, exactly like Simulator.run().  See _drain.py for the
+ * contract; the Python loops remain the reference implementation.
+ */
+#include <Python.h>
+#include <structmember.h>
+
+static PyObject *GENERIC;        /* simulator._GENERIC sentinel */
+static PyObject *SimError;       /* repro.errors.SimulationError */
+static PyObject *heappop_fn;     /* heapq.heappop */
+static PyObject *s_now, *s_draining, *s_ncancelled;
+static PyObject *int_zero, *int_one;
+static Py_ssize_t off_time, off_priority, off_callback, off_args,
+                  off_payload, off_cancelled;
+static int inited = 0;
+
+#define SLOT(ev, off) (*(PyObject **)((char *)(ev) + (off)))
+
+/* Replace a slot value, handling refcounts (never exposes a NULL slot). */
+static void set_slot(PyObject *ev, Py_ssize_t off, PyObject *val)
+{
+    PyObject *old = SLOT(ev, off);
+    Py_INCREF(val);
+    SLOT(ev, off) = val;
+    Py_XDECREF(old);
+}
+
+static Py_ssize_t member_offset(PyObject *cls, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    Py_ssize_t off;
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        Py_DECREF(descr);
+        PyErr_Format(PyExc_TypeError, "Event.%s is not a slot member", name);
+        return -1;
+    }
+    off = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return off;
+}
+
+static PyObject *drain_init(PyObject *self, PyObject *args)
+{
+    PyObject *event_cls, *generic, *exc, *heappop;
+    if (!PyArg_ParseTuple(args, "OOOO", &event_cls, &generic, &exc, &heappop))
+        return NULL;
+    off_time = member_offset(event_cls, "time");
+    off_priority = member_offset(event_cls, "priority");
+    off_callback = member_offset(event_cls, "callback");
+    off_args = member_offset(event_cls, "args");
+    off_payload = member_offset(event_cls, "payload");
+    off_cancelled = member_offset(event_cls, "cancelled");
+    if (off_time < 0 || off_priority < 0 || off_callback < 0 ||
+        off_args < 0 || off_payload < 0 || off_cancelled < 0)
+        return NULL;
+    Py_INCREF(generic); GENERIC = generic;
+    Py_INCREF(exc); SimError = exc;
+    Py_INCREF(heappop); heappop_fn = heappop;
+    s_now = PyUnicode_InternFromString("now");
+    s_draining = PyUnicode_InternFromString("_draining");
+    s_ncancelled = PyUnicode_InternFromString("_ncancelled");
+    int_zero = PyLong_FromLong(0);
+    int_one = PyLong_FromLong(1);
+    if (!s_now || !s_draining || !s_ncancelled || !int_zero || !int_one)
+        return NULL;
+    inited = 1;
+    Py_RETURN_NONE;
+}
+
+/* Read an Event back through the resolved offsets; the Python side diffs
+ * the result against the attributes to prove the layout matches before
+ * the accelerator is ever trusted with a real drain. */
+static PyObject *drain_selftest(PyObject *self, PyObject *ev)
+{
+    if (!inited) {
+        PyErr_SetString(PyExc_RuntimeError, "drain not initialised");
+        return NULL;
+    }
+    return Py_BuildValue("(OOOOOO)", SLOT(ev, off_time),
+                         SLOT(ev, off_priority), SLOT(ev, off_callback),
+                         SLOT(ev, off_args), SLOT(ev, off_payload),
+                         SLOT(ev, off_cancelled));
+}
+
+/* sim._ncancelled -= 1  (rare path: cancelled-event collection) */
+static int dec_ncancelled(PyObject *sim)
+{
+    PyObject *n = PyObject_GetAttr(sim, s_ncancelled);
+    PyObject *n2;
+    int rc;
+    if (n == NULL)
+        return -1;
+    n2 = PyNumber_Subtract(n, int_one);
+    Py_DECREF(n);
+    if (n2 == NULL)
+        return -1;
+    rc = PyObject_SetAttr(sim, s_ncancelled, n2);
+    Py_DECREF(n2);
+    return rc;
+}
+
+/* free.extend(seq) */
+static int list_extend(PyObject *list, PyObject *seq)
+{
+    Py_ssize_t n = PyList_GET_SIZE(list);
+    return PyList_SetSlice(list, n, n, seq);
+}
+
+static PyObject *drain(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *buckets, *times, *free_list, *unsorted;
+    PyObject *until_obj, *max_obj;
+    long long executed = 0, max_events = -1;
+    int bounded, has_until, has_max;
+
+    if (!inited) {
+        PyErr_SetString(PyExc_RuntimeError, "drain not initialised");
+        return NULL;
+    }
+    if (!PyArg_ParseTuple(args, "OOOOOOO", &sim, &buckets, &times,
+                          &free_list, &unsorted, &until_obj, &max_obj))
+        return NULL;
+    has_until = until_obj != Py_None;
+    has_max = max_obj != Py_None;
+    bounded = has_until || has_max;
+    if (has_max) {
+        max_events = PyLong_AsLongLong(max_obj);
+        if (max_events == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    while (PyList_GET_SIZE(times) > 0) {
+        PyObject *time_obj = PyList_GET_ITEM(times, 0); /* borrowed */
+        PyObject *bucket, *now_obj;
+        Py_ssize_t i = 0;
+        int cmp, now_set = 0;
+
+        if (has_until) {
+            cmp = PyObject_RichCompareBool(time_obj, until_obj, Py_GT);
+            if (cmp < 0)
+                return NULL;
+            if (cmp)
+                break;
+        }
+        now_obj = PyObject_GetAttr(sim, s_now);
+        if (now_obj == NULL)
+            return NULL;
+        cmp = PyObject_RichCompareBool(time_obj, now_obj, Py_LT);
+        Py_DECREF(now_obj);
+        if (cmp < 0)
+            return NULL;
+        if (cmp) {
+            PyErr_SetString(SimError, "event queue went backwards in time");
+            return NULL;
+        }
+        bucket = PyDict_GetItem(buckets, time_obj); /* borrowed */
+        if (bucket == NULL) {
+            PyErr_SetString(SimError, "calendar bucket missing for heap time");
+            return NULL;
+        }
+        /* Callbacks may push into `times` (list realloc) or add buckets
+         * (dict resize): pin both objects for the drain of this bucket. */
+        Py_INCREF(time_obj);
+        Py_INCREF(bucket);
+        if (!bounded) {
+            /* Unbounded drain advances now at bucket entry... */
+            if (PyObject_SetAttr(sim, s_now, time_obj) < 0)
+                goto fail_bare;
+        }
+        if (PyObject_SetAttr(sim, s_draining, time_obj) < 0)
+            goto fail_bare;
+
+        for (;;) {
+            PyObject *ev, *cb, *payload, *res;
+            int truth;
+
+            if (bounded && has_max && executed >= max_events) {
+                /* Recycle the consumed prefix, keep the tail for the
+                 * next run() call (bucket and heap entry stay). */
+                PyObject *prefix = PyList_GetSlice(bucket, 0, i);
+                if (prefix == NULL)
+                    goto fail_bare;
+                if (list_extend(free_list, prefix) < 0 ||
+                    PyList_SetSlice(bucket, 0, i, NULL) < 0) {
+                    Py_DECREF(prefix);
+                    goto fail_bare;
+                }
+                Py_DECREF(prefix);
+                if (PyObject_SetAttr(sim, s_draining, Py_None) < 0)
+                    goto fail_bare;
+                Py_DECREF(time_obj);
+                Py_DECREF(bucket);
+                return PyLong_FromLongLong(executed);
+            }
+            if (PySet_GET_SIZE(unsorted) > 0) {
+                cmp = PySet_Contains(unsorted, time_obj);
+                if (cmp < 0)
+                    goto fail;
+                if (cmp) {
+                    /* Deterministic stable sort of the undrained tail by
+                     * priority (Event.__lt__), as in the Python loops. */
+                    PyObject *tail = PyList_GetSlice(bucket, i,
+                                                     PY_SSIZE_T_MAX);
+                    if (tail == NULL)
+                        goto fail;
+                    if (PyList_Sort(tail) < 0 ||
+                        PyList_SetSlice(bucket, i, PY_SSIZE_T_MAX,
+                                        tail) < 0) {
+                        Py_DECREF(tail);
+                        goto fail;
+                    }
+                    Py_DECREF(tail);
+                    if (PySet_Discard(unsorted, time_obj) < 0)
+                        goto fail;
+                }
+            }
+            if (i >= PyList_GET_SIZE(bucket))
+                break;
+            ev = PyList_GET_ITEM(bucket, i); /* borrowed; bucket never
+                                                shrinks mid-drain */
+            i++;
+            truth = PyObject_IsTrue(SLOT(ev, off_cancelled));
+            if (truth < 0)
+                goto fail;
+            if (truth) {
+                /* Collect a cancelled event (recycled with the bucket). */
+                if (dec_ncancelled(sim) < 0)
+                    goto fail;
+                set_slot(ev, off_cancelled, Py_False);
+                truth = PyObject_IsTrue(SLOT(ev, off_priority));
+                if (truth < 0)
+                    goto fail;
+                if (truth)
+                    set_slot(ev, off_priority, int_zero);
+                continue;
+            }
+            if (bounded && !now_set) {
+                /* ...the bounded drain only once it executes an event. */
+                if (PyObject_SetAttr(sim, s_now, time_obj) < 0)
+                    goto fail;
+                now_set = 1;
+            }
+            cb = SLOT(ev, off_callback);
+            Py_INCREF(cb);
+            payload = SLOT(ev, off_payload);
+            Py_INCREF(payload);
+            truth = PyObject_IsTrue(SLOT(ev, off_priority));
+            if (truth < 0) {
+                Py_DECREF(cb);
+                Py_DECREF(payload);
+                goto fail;
+            }
+            if (truth)
+                set_slot(ev, off_priority, int_zero);
+            if (payload == GENERIC) {
+                PyObject *cargs = SLOT(ev, off_args);
+                Py_INCREF(cargs);
+                res = PyObject_Call(cb, cargs, NULL);
+                Py_DECREF(cargs);
+            }
+            else {
+                res = PyObject_CallOneArg(cb, payload);
+            }
+            Py_DECREF(cb);
+            Py_DECREF(payload);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+            executed++;
+        }
+        /* Batch recycle: every entry was consumed exactly once. */
+        if (list_extend(free_list, bucket) < 0 ||
+            PyDict_DelItem(buckets, time_obj) < 0)
+            goto fail_bare;
+        {
+            PyObject *popped = PyObject_CallOneArg(heappop_fn, times);
+            if (popped == NULL)
+                goto fail_bare;
+            Py_DECREF(popped);
+        }
+        if (PyObject_SetAttr(sim, s_draining, Py_None) < 0)
+            goto fail_bare;
+        Py_DECREF(time_obj);
+        Py_DECREF(bucket);
+        continue;
+
+    fail:
+        /* A callback (or internal op) raised: recycle and drop the
+         * consumed prefix so a later run() cannot re-execute it, then
+         * re-raise.  run()'s finally clause resets _draining. */
+        {
+            PyObject *ptype, *pval, *ptb, *prefix;
+            PyErr_Fetch(&ptype, &pval, &ptb);
+            prefix = PyList_GetSlice(bucket, 0, i);
+            if (prefix != NULL) {
+                list_extend(free_list, prefix);
+                Py_DECREF(prefix);
+            }
+            PyList_SetSlice(bucket, 0, i, NULL);
+            PyErr_Restore(ptype, pval, ptb);
+        }
+    fail_bare:
+        Py_DECREF(time_obj);
+        Py_DECREF(bucket);
+        return NULL;
+    }
+    return PyLong_FromLongLong(executed);
+}
+
+static PyMethodDef drain_methods[] = {
+    {"init", drain_init, METH_VARARGS,
+     "Bind the Event layout, sentinels and helpers."},
+    {"selftest", drain_selftest, METH_O,
+     "Read an Event through the resolved slot offsets."},
+    {"drain", drain, METH_VARARGS,
+     "drain(sim, buckets, times, free, unsorted, until, max_events)"},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef drain_module = {
+    PyModuleDef_HEAD_INIT, "_repro_drain",
+    "Compiled calendar-queue drain loop.", -1, drain_methods
+};
+
+PyMODINIT_FUNC PyInit__repro_drain(void)
+{
+    return PyModule_Create(&drain_module);
+}
+"""
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "_drain_cache")
+
+
+def _compiler() -> Optional[str]:
+    for cand in ("cc", "gcc", "clang"):
+        for path in os.environ.get("PATH", "").split(os.pathsep):
+            exe = os.path.join(path, cand)
+            if os.path.isfile(exe) and os.access(exe, os.X_OK):
+                return cand
+    return None
+
+
+def _build() -> str:
+    """Compile the shim (if not cached) and return the .so path."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    abi = sys.implementation.cache_tag  # e.g. cpython-311
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"_repro_drain-{abi}-{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    cc = _compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    include = sysconfig.get_paths()["include"]
+    if not os.path.exists(os.path.join(include, "Python.h")):
+        raise RuntimeError(f"Python.h not found under {include}")
+    os.makedirs(cache, exist_ok=True)
+    fd, c_path = tempfile.mkstemp(suffix=".c", dir=cache)
+    tmp_so = c_path[:-2] + ".so"
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_C_SOURCE)
+        result = subprocess.run(
+            [cc, "-O2", "-fPIC", "-shared", f"-I{include}",
+             c_path, "-o", tmp_so],
+            capture_output=True, text=True, timeout=120)
+        if result.returncode != 0:
+            raise RuntimeError(f"{cc} failed: {result.stderr.strip()[:500]}")
+        # Atomic publish: racing builders each replace with identical bits.
+        os.replace(tmp_so, so_path)
+    finally:
+        for path in (c_path, tmp_so):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    return so_path
+
+
+def _load_module():
+    so_path = _build()
+    loader = importlib.machinery.ExtensionFileLoader("_repro_drain", so_path)
+    spec = importlib.util.spec_from_loader("_repro_drain", loader,
+                                           origin=so_path)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+def _selftest(module, event_cls, generic) -> None:
+    """Prove the C slot-offset view matches the Python attributes."""
+    probe_args = (1, "two")
+
+    def probe_cb(*_args):  # pragma: no cover - never called
+        pass
+
+    event = event_cls(12345, 7, probe_cb, probe_args)
+    event.payload = generic
+    event.cancelled = True
+    seen = module.selftest(event)
+    expected = (event.time, event.priority, event.callback, event.args,
+                event.payload, event.cancelled)
+    if tuple(seen) != expected:
+        raise RuntimeError(f"slot layout self-test failed: {seen!r} != "
+                           f"{expected!r}")
+
+
+def load(event_cls, generic, exc_cls):
+    """Build/load the accelerator, or return None (with a recorded reason).
+
+    Idempotent and memoized; safe to call per Simulator construction.
+    """
+    global _module, _resolved, _reason
+    if _resolved:
+        return _module
+    _resolved = True
+    try:
+        import heapq
+
+        module = _load_module()
+        module.init(event_cls, generic, exc_cls, heapq.heappop)
+        _selftest(module, event_cls, generic)
+        _module = module
+    except Exception as exc:  # auto-fallback: accel is never required
+        _module = None
+        _reason = f"{type(exc).__name__}: {exc}"
+    return _module
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the accelerator is unavailable (None when loaded or untried)."""
+    return _reason

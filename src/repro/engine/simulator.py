@@ -51,6 +51,35 @@ calls were made — the interleaving is bit-identical to routing everything
 through ``schedule()`` (``Simulator(fast_path=False)`` does precisely
 that, and the determinism tests assert equality).
 
+Batch lanes
+-----------
+
+Burst producers (router inject/drain lanes, link flit trains, BPC/LLC
+pipeline issue) emit many same-cycle sends back to back.
+:meth:`~ConstLatencyChannel.send_many` (and
+:meth:`~ConstLatencyChannel.send_after_many`) append the whole burst
+into one ``(time, bucket)`` lane: the event pool is sliced once for the
+burst instead of popped per payload, and the calendar sees a single
+``extend`` (plus at most one heap push) instead of one insert per event.
+The bucket receives the payloads in exactly iteration order, so
+``send_many(ps)`` is event-for-event identical to ``for p in ps:
+send(p)`` — the property tests assert this under every ``fast_path`` ×
+``REPRO_KERNEL`` combination.
+
+Compiled drain (REPRO_KERNEL)
+-----------------------------
+
+The bucket-scan/advance portion of the drain loops is also available as
+a C accelerator (:mod:`repro.engine._drain`), compiled on demand with
+the system C compiler and selected with ``Simulator(kernel=...)`` or the
+``REPRO_KERNEL`` environment variable (``accel``, the default, or
+``python``).  The accelerator is a line-for-line port of the Python
+loops reading the ``Event`` slots at fixed offsets; it auto-falls back
+to the Python reference when no compiler/headers are available, when the
+layout self-test fails, or under ``debug=True`` (generation accounting
+stays in Python).  ``Simulator.kernel`` reports which drain actually
+runs.
+
 Components never pass ``priority``; buckets are therefore already in
 execution order.  The first non-default priority at a timestamp marks
 that bucket for a single deterministic *stable* sort by priority at drain
@@ -74,6 +103,7 @@ default.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Callable, Optional, Union
 
@@ -170,7 +200,7 @@ class ConstLatencyChannel:
     """
 
     __slots__ = ("_sim", "delay", "sink", "_time", "_bucket_append",
-                 "_free", "_buckets", "_times")
+                 "_bucket_extend", "_free", "_buckets", "_times")
 
     def __init__(self, sim: "Simulator", delay: int,
                  sink: Callable[[Any], None]):
@@ -181,14 +211,15 @@ class ConstLatencyChannel:
         self._sim = sim
         self.delay = delay
         self.sink = sink
-        # Cached (time, bucket.append) lane.  Only buckets strictly in
-        # the future are ever cached, and `now` can only reach a bucket's
-        # time while that bucket is live (the run loop deletes it before
-        # advancing, and compaction filters it in place, preserving list
-        # identity), so a cache hit is always an append into a
+        # Cached (time, bucket.append/extend) lane.  Only buckets strictly
+        # in the future are ever cached, and `now` can only reach a
+        # bucket's time while that bucket is live (the run loop deletes it
+        # before advancing, and compaction filters it in place, preserving
+        # list identity), so a cache hit is always an append into a
         # not-yet-drained bucket.
         self._time = -1
         self._bucket_append: Optional[Callable[[Event], None]] = None
+        self._bucket_extend: Optional[Callable[[list], None]] = None
         # The simulator's containers are created once in __init__ and
         # never rebound; holding them directly saves a hop per send.
         self._free = sim._free
@@ -224,6 +255,7 @@ class ConstLatencyChannel:
             # one currently draining, which dies before `now` moves on.
             self._time = t
             self._bucket_append = bucket.append
+            self._bucket_extend = bucket.extend
         return event
 
     def send_after(self, delay: int, payload: Any) -> Event:
@@ -257,7 +289,93 @@ class ConstLatencyChannel:
         if delay:
             self._time = t
             self._bucket_append = bucket.append
+            self._bucket_extend = bucket.extend
         return event
+
+    def _events_for(self, t: int, payloads) -> list:
+        """Pool a burst: one slice off the free list for all payloads."""
+        sink = self.sink
+        free = self._free
+        n = len(payloads)
+        k = len(free)
+        if k >= n:
+            events = free[k - n:]
+            del free[k - n:]
+            for event, payload in zip(events, payloads):
+                event.callback = sink
+                # `args` stays stale on purpose, exactly as in send():
+                # it is only read when payload is _GENERIC.
+                event.payload = payload
+        else:
+            events = free[:]
+            del free[:]
+            for event, payload in zip(events, payloads):
+                event.callback = sink
+                event.payload = payload
+            for payload in payloads[k:]:
+                event = Event(t, 0, sink, ())
+                event.payload = payload
+                events.append(event)
+        return events
+
+    def send_many(self, payloads) -> list:
+        """Enqueue ``sink(p)`` for every payload, in order, at
+        ``now + delay``.
+
+        Event-for-event identical to ``for p in payloads: send(p)`` but
+        with one pool slice and one calendar insert for the whole burst.
+        ``payloads`` must be a sequence; the returned event list is as
+        opaque as a single :meth:`send` result.
+        """
+        if not payloads:
+            return []
+        t = self._sim.now + self.delay
+        events = self._events_for(t, payloads)
+        if t == self._time:
+            self._bucket_extend(events)
+            return events
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            # The freshly built burst list *becomes* the bucket (it is
+            # not aliased anywhere else).
+            bucket = buckets[t] = events
+            heappush(self._times, t)
+        else:
+            bucket.extend(events)
+        if self.delay:
+            self._time = t
+            self._bucket_append = bucket.append
+            self._bucket_extend = bucket.extend
+        return events
+
+    def send_after_many(self, delay: int, payloads) -> list:
+        """Like :meth:`send_many` with a per-call delay (flit/beat trains
+        whose arrival varies while the sink stays fixed)."""
+        if type(delay) is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule in the past: delay={delay}")
+        if not payloads:
+            return []
+        t = self._sim.now + delay
+        events = self._events_for(t, payloads)
+        if delay and t == self._time:
+            self._bucket_extend(events)
+            return events
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            bucket = buckets[t] = events
+            heappush(self._times, t)
+        else:
+            bucket.extend(events)
+        if delay:
+            self._time = t
+            self._bucket_append = bucket.append
+            self._bucket_extend = bucket.extend
+        return events
 
 
 class _DebugChannel(ConstLatencyChannel):
@@ -273,6 +391,14 @@ class _DebugChannel(ConstLatencyChannel):
     def send_after(self, delay: int, payload: Any) -> EventHandle:
         event = ConstLatencyChannel.send_after(self, delay, payload)
         return EventHandle(event, event.generation)
+
+    def send_many(self, payloads) -> list:
+        events = ConstLatencyChannel.send_many(self, payloads)
+        return [EventHandle(event, event.generation) for event in events]
+
+    def send_after_many(self, delay: int, payloads) -> list:
+        events = ConstLatencyChannel.send_after_many(self, delay, payloads)
+        return [EventHandle(event, event.generation) for event in events]
 
 
 class _GenericChannel:
@@ -297,6 +423,17 @@ class _GenericChannel:
 
     def send_after(self, delay: int, payload: Any):
         return self._sim.schedule(delay, self.sink, payload)
+
+    def send_many(self, payloads) -> list:
+        schedule = self._sim.schedule
+        delay = self.delay
+        sink = self.sink
+        return [schedule(delay, sink, payload) for payload in payloads]
+
+    def send_after_many(self, delay: int, payloads) -> list:
+        schedule = self._sim.schedule
+        sink = self.sink
+        return [schedule(delay, sink, payload) for payload in payloads]
 
 
 #: Anything Simulator.cancel accepts.
@@ -324,13 +461,30 @@ class Simulator:
     ``debug=True`` returns generation-pinned handles from ``schedule`` and
     channel sends, and :meth:`cancel` raises on a handle whose event
     already fired (see module docstring).
+
+    ``kernel`` selects the drain loop: ``"accel"`` (compile-on-demand C
+    drain, bit-identical, auto-falls back to Python when unavailable or
+    under ``debug=True``) or ``"python"`` (the reference loops).  When
+    None, the ``REPRO_KERNEL`` environment variable decides, defaulting
+    to ``"accel"``.  :attr:`kernel` reports the drain actually in use.
     """
 
     def __init__(self, fast_path: bool = True, debug: bool = False,
-                 obs=None) -> None:
+                 obs=None, kernel: Optional[str] = None) -> None:
         self.now: int = 0
         self._fast_path = fast_path
         self._debug = debug
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL") or "accel"
+        if kernel not in ("accel", "python"):
+            raise SimulationError(
+                f"unknown kernel {kernel!r} (expected 'accel' or 'python')")
+        self._accel = None
+        if kernel == "accel" and not debug:
+            from . import _drain
+            self._accel = _drain.load(Event, _GENERIC, SimulationError)
+        #: The drain implementation actually running ("accel" or "python").
+        self.kernel = "accel" if self._accel is not None else "python"
         # Observability hooks (repro.obs.Observer); the null object keeps
         # every component-side call site unconditional and the disabled
         # path free of branches.  Channel wrapping happens at construction
@@ -478,7 +632,11 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            if until is None and max_events is None:
+            if self._accel is not None:
+                executed = self._accel.drain(
+                    self, self._buckets, self._times, self._free,
+                    self._unsorted, until, max_events)
+            elif until is None and max_events is None:
                 executed = self._run_unbounded()
             else:
                 executed = self._run_bounded(until, max_events)
@@ -565,11 +723,19 @@ class Simulator:
 
     def _run_bounded(self, until: Optional[int],
                      max_events: Optional[int]) -> int:
-        """Drain loop honouring ``until`` / ``max_events`` bounds."""
+        """Drain loop honouring ``until`` / ``max_events`` bounds.
+
+        Same micro-structure as :meth:`_run_unbounded`: hoisted locals,
+        IndexError-terminated index walk, and batch recycling of the
+        consumed events (once per bucket / bound exit instead of one
+        ``free.append`` per event).  ``now`` only advances when an event
+        actually executes at the bucket's time — an all-cancelled bucket
+        must not move the clock, exactly as before.
+        """
         executed = 0
         buckets = self._buckets
         times = self._times
-        free_append = self._free.append
+        free_extend = self._free.extend
         unsorted_times = self._unsorted
         debug = self._debug
         while times:
@@ -580,11 +746,14 @@ class Simulator:
                 raise SimulationError("event queue went backwards in time")
             bucket = buckets[time]
             self._draining = time
+            now_set = False
             i = 0
             try:
-                while i < len(bucket):
+                while True:
                     if max_events is not None and executed >= max_events:
-                        # Keep the undrained tail for the next run() call.
+                        # Recycle the consumed prefix, keep the undrained
+                        # tail for the next run() call.
+                        free_extend(bucket[:i])
                         del bucket[:i]
                         self._draining = None
                         return executed
@@ -593,7 +762,10 @@ class Simulator:
                         tail.sort()
                         bucket[i:] = tail
                         unsorted_times.discard(time)
-                    event = bucket[i]
+                    try:
+                        event = bucket[i]
+                    except IndexError:
+                        break
                     i += 1
                     if event.cancelled:
                         self._ncancelled -= 1
@@ -602,24 +774,26 @@ class Simulator:
                             event.priority = 0
                         if debug:
                             event.generation += 1
-                        free_append(event)
                         continue
-                    self.now = time
+                    if not now_set:
+                        self.now = time
+                        now_set = True
                     callback = event.callback
                     payload = event.payload
                     if event.priority:
                         event.priority = 0
                     if debug:
                         event.generation += 1
-                    free_append(event)
                     if payload is _GENERIC:
                         callback(*event.args)
                     else:
                         callback(payload)
                     executed += 1
             except BaseException:
+                free_extend(bucket[:i])
                 del bucket[:i]
                 raise
+            free_extend(bucket)
             del buckets[time]
             heappop(times)
             self._draining = None

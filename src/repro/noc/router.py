@@ -130,6 +130,19 @@ class Router(Component):
         self.obs.noc_inject(self, packet)
         self._inject_lane.send(packet)
 
+    def inject_many(self, packets) -> None:
+        """Batch entry point for a same-cycle burst of packets born here.
+
+        Packet-for-packet identical to ``for p in packets: inject(p)``,
+        riding one batched calendar insert into the routing stage.
+        """
+        self.stats.inc("injected", len(packets))
+        obs = self.obs
+        if obs.enabled:
+            for packet in packets:
+                obs.noc_inject(self, packet)
+        self._inject_lane.send_many(packets)
+
     def receive(self, packet: Packet, from_direction: Direction,
                 channel: NocChannel) -> None:
         """A packet arrived over the link from ``from_direction``."""

@@ -86,6 +86,17 @@ class _TracedChannel:
                              self._sim.now)
         return self._channel.send_after(delay, payload)
 
+    def send_many(self, payloads):
+        # One instant per burst: batched sends are one scheduling action.
+        self._tracer.instant("kernel", self._comp, "send_many",
+                             self._sim.now)
+        return self._channel.send_many(payloads)
+
+    def send_after_many(self, delay, payloads):
+        self._tracer.instant("kernel", self._comp, "send_after_many",
+                             self._sim.now)
+        return self._channel.send_after_many(delay, payloads)
+
 
 class Observer(NullObserver):
     """Live observer: metrics registry + tracer + sampling probes.

@@ -351,6 +351,31 @@ class TestDebugMode:
         with pytest.raises(SimulationError, match="stale handle"):
             sim.cancel(victims[0])
 
+    def test_send_many_returns_handles(self):
+        sim = Simulator(debug=True)
+        lane = sim.channel(2, lambda p: None)
+        handles = lane.send_many(["a", "b", "c"])
+        assert len(handles) == 3
+        assert all(isinstance(h, EventHandle) for h in handles)
+
+    def test_cancel_batched_before_fire_works(self):
+        sim = Simulator(debug=True)
+        got = []
+        lane = sim.channel(2, got.append)
+        handles = lane.send_after_many(3, ["a", "doomed", "c"])
+        sim.cancel(handles[1])
+        sim.run()
+        assert got == ["a", "c"]
+
+    def test_cancel_after_fire_raises_on_batched_handle(self):
+        sim = Simulator(debug=True)
+        lane = sim.channel(2, lambda p: None)
+        handles = lane.send_many(["a", "b"])
+        sim.run()
+        for handle in handles:
+            with pytest.raises(SimulationError, match="stale handle"):
+                sim.cancel(handle)
+
     def test_debug_mode_does_not_change_results(self):
         def drive(sim):
             got = []
