@@ -28,11 +28,40 @@ from .node import Node
 from .tile import Tile
 
 
+def build_homing(config: PrototypeConfig):
+    """The homing policy object for ``config`` (shared with the
+    partitioned build, where every shard needs an identical instance)."""
+    if config.homing == "global":
+        return GlobalInterleaveHoming(config.n_nodes, config.tiles_per_node)
+    if config.homing == "numa":
+        return NodeRangeHoming(config.n_nodes, config.tiles_per_node,
+                               config.dram_bytes_per_node)
+    return CdrHoming(config.n_nodes, config.tiles_per_node)
+
+
 class Prototype:
     """A fully built SMAPPIC system."""
 
+    def __new__(cls, config: Optional[PrototypeConfig] = None, *args,
+                **kwargs):
+        # `partitions=` > 1 swaps in the sharded implementation (one
+        # worker process per FPGA group, synchronized at the PCIe
+        # boundary — see repro.partition); everything else builds the
+        # monolithic system below.  Resolution happens here so both
+        # classes share one constructor signature and call site.
+        partitions = kwargs.get("partitions")
+        if partitions is None and len(args) >= 4:
+            partitions = args[3]
+        if (cls is Prototype and config is not None
+                and partitions is not None):
+            from ..partition import PartitionedPrototype, resolve_partitions
+            if resolve_partitions(config, partitions) > 1:
+                return object.__new__(PartitionedPrototype)
+        return object.__new__(cls)
+
     def __init__(self, config: PrototypeConfig, fast_path: bool = True,
-                 obs=None, kernel: Optional[str] = None):
+                 obs=None, kernel: Optional[str] = None,
+                 partitions: Optional[int] = None):
         self.config = config
         # fast_path=False routes every constant-latency hop through the
         # generic scheduler — slower, but lets tests assert the typed fast
@@ -57,13 +86,7 @@ class Prototype:
         ]
 
     def _build_homing(self, config: PrototypeConfig):
-        if config.homing == "global":
-            return GlobalInterleaveHoming(config.n_nodes,
-                                          config.tiles_per_node)
-        if config.homing == "numa":
-            return NodeRangeHoming(config.n_nodes, config.tiles_per_node,
-                                   config.dram_bytes_per_node)
-        return CdrHoming(config.n_nodes, config.tiles_per_node)
+        return build_homing(config)
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -74,6 +97,13 @@ class Prototype:
     def tile_by_global_index(self, index: int) -> Tile:
         node_id, tile_index = divmod(index, self.config.tiles_per_node)
         return self.tile(node_id, tile_index)
+
+    def tile_addr(self, index: int) -> TileAddr:
+        """The :class:`TileAddr` of a flat Fig. 7 tile index (pure
+        topology — works whether or not the tile object lives in this
+        process)."""
+        node_id, tile_index = divmod(index, self.config.tiles_per_node)
+        return TileAddr(node_id, tile_index)
 
     def all_tiles(self) -> List[Tile]:
         return [tile for node in self.nodes for tile in node.tiles]
@@ -129,7 +159,7 @@ class Prototype:
         memory only (independent-node prototypes).
         """
         if node_id is not None:
-            self.nodes[node_id].memory.write(addr, data)
+            self._memory_write(node_id, addr, data)
             return
         cursor = addr
         view = memoryview(data)
@@ -138,7 +168,7 @@ class Prototype:
             line = line_of(cursor)
             take = min(64 - (cursor - line), len(view))
             owner = self.homing.memory_node_of(line, requester)
-            self.nodes[owner].memory.write(cursor, bytes(view[:take]))
+            self._memory_write(owner, cursor, bytes(view[:take]))
             cursor += take
             view = view[take:]
 
@@ -146,7 +176,7 @@ class Prototype:
                     node_id: Optional[int] = None) -> bytes:
         """Functional read of backing DRAM (does not see dirty cache lines)."""
         if node_id is not None:
-            return self.nodes[node_id].memory.read(addr, size)
+            return self._memory_read(node_id, addr, size)
         out = bytearray()
         cursor = addr
         remaining = size
@@ -155,10 +185,16 @@ class Prototype:
             line = line_of(cursor)
             take = min(64 - (cursor - line), remaining)
             owner = self.homing.memory_node_of(line, requester)
-            out.extend(self.nodes[owner].memory.read(cursor, take))
+            out.extend(self._memory_read(owner, cursor, take))
             cursor += take
             remaining -= take
         return bytes(out)
+
+    def _memory_write(self, node_id: int, addr: int, data: bytes) -> None:
+        self.nodes[node_id].memory.write(addr, data)
+
+    def _memory_read(self, node_id: int, addr: int, size: int) -> bytes:
+        return self.nodes[node_id].memory.read(addr, size)
 
     # ------------------------------------------------------------------
     # Latency probes (Fig. 7 machinery)
@@ -182,14 +218,13 @@ class Prototype:
         slice is the receiver's tile — a cache-line transfer between the
         two cores through the coherence fabric.
         """
-        src = self.tile_by_global_index(sender)
-        dst = self.tile_by_global_index(receiver)
-        addr = self.address_homed_at(dst.addr, index=1000 + probe_index)
+        src = self.tile_addr(sender)
+        dst = self.tile_addr(receiver)
+        addr = self.address_homed_at(dst, index=1000 + probe_index)
         # Receiver takes ownership (M) of the probe line.
-        self.mem_access(dst.addr.node, dst.addr.tile,
-                        store(addr, b"\xAA" * 8))
+        self.mem_access(dst.node, dst.tile, store(addr, b"\xAA" * 8))
         # Sender's load pulls the line across: request + downgrade + data.
-        _, cycles = self.mem_access(src.addr.node, src.addr.tile, load(addr))
+        _, cycles = self.mem_access(src.node, src.tile, load(addr))
         return cycles
 
     def latency_matrix(self, probes_per_pair: int = 1,

@@ -33,6 +33,14 @@ from .pcie import PcieFabric
 #: Receive buffer depth (and so sender credits) per (source, channel).
 DEFAULT_CREDITS = 16
 
+#: Bridge pipeline depths, exported as named constants because the
+#: partitioned engine derives its conservative sync window from them
+#: (``repro.partition.window``): the quantum must stay short enough that
+#: a burst entering the encode pipeline near a quantum edge still lands
+#: strictly after the next barrier.
+DEFAULT_ENCODE_LATENCY = 2
+DEFAULT_DECODE_LATENCY = 2
+
 FlowKey = Tuple[int, NocChannel]   # (peer node, channel)
 
 
@@ -42,7 +50,8 @@ class InterNodeBridge(Component):
     def __init__(self, sim: Simulator, name: str, node_id: int,
                  fabric: PcieFabric, network: NodeNetwork,
                  credits: int = DEFAULT_CREDITS,
-                 encode_latency: int = 2, decode_latency: int = 2,
+                 encode_latency: int = DEFAULT_ENCODE_LATENCY,
+                 decode_latency: int = DEFAULT_DECODE_LATENCY,
                  shaper_latency: int = 0,
                  shaper_cycles_per_flit: float = 0.0):
         super().__init__(sim, name)

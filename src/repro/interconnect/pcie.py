@@ -69,14 +69,38 @@ class PcieFabric(Component):
         self._endpoints: Dict[int, BridgeEndpoint] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
         self.pcie_one_way = pcie_one_way
+        self.pcie_cycles_per_beat = pcie_cycles_per_beat
         self.intra_latency = intra_latency
-        for src in fpgas:
-            for dst in fpgas:
-                latency = intra_latency if src == dst else pcie_one_way
-                beat_cost = 0.1 if src == dst else pcie_cycles_per_beat
-                self._links[(src, dst)] = Link(
-                    sim, f"{name}.{src}->{dst}", self._deliver,
-                    latency=latency, cycles_per_unit=beat_cost,
+        hosted: Dict[int, int] = {}
+        for fpga in self.placement.values():
+            hosted[fpga] = hosted.get(fpga, 0) + 1
+        for src in sorted(fpgas):
+            for dst in sorted(fpgas):
+                if src == dst and hosted[src] < 2:
+                    # Only one node lives on this FPGA, so its crossbar
+                    # link could never carry a message — skip it instead
+                    # of registering a dead per-direction obs series.
+                    continue
+                link = self._build_link(src, dst)
+                if link is not None:
+                    self._links[(src, dst)] = link
+
+    def _build_link(self, src: int, dst: int) -> Link:
+        """One serializing link for the ordered FPGA pair.
+
+        Naming is per path kind: ``name.S->D`` are the true PCIe
+        directions, ``name.F.xbar`` the intra-FPGA crossbar hop — so the
+        ``->`` metric series always mean inter-FPGA traffic.  Overridden
+        by the partitioned fabric to capture cross-partition directions
+        into boundary queues instead of delivering locally.
+        """
+        if src == dst:
+            return Link(self.sim, f"{self.name}.{src}.xbar", self._deliver,
+                        latency=self.intra_latency, cycles_per_unit=0.1,
+                        category="pcie")
+        return Link(self.sim, f"{self.name}.{src}->{dst}", self._deliver,
+                    latency=self.pcie_one_way,
+                    cycles_per_unit=self.pcie_cycles_per_beat,
                     category="pcie")
 
     def register(self, node_id: int, endpoint: BridgeEndpoint) -> None:

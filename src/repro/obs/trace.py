@@ -301,10 +301,32 @@ def chrome_from_jsonl(path) -> dict:
     streamed run loads in Perfetto exactly like a ring-buffered one.
     (This materializes the whole trace; it is the viewer-side step, not
     part of the bounded-memory recording path.)
+
+    ``path`` may also be a sequence of shard paths — the per-partition
+    trace files of a partitioned run.  A component recorded by a single
+    shard keeps that shard's emission order (each component lives in
+    exactly one partition, so this reproduces the monolithic order);
+    components fed by several shards (the fabric) merge by timestamp,
+    stably, with ties kept in shard order.
     """
+    if isinstance(path, (str, bytes)) or hasattr(path, "__fspath__"):
+        paths = [path]
+    else:
+        paths = list(path)
     components: Dict[str, List[dict]] = {}
-    for event in iter_jsonl_events(path):
-        components.setdefault(event["comp"], []).append(event)
+    shards_of: Dict[str, int] = {}
+    for shard_index, shard_path in enumerate(paths):
+        for event in iter_jsonl_events(shard_path):
+            component = event["comp"]
+            bucket = components.setdefault(component, [])
+            if not bucket or shards_of[component] == shard_index:
+                shards_of[component] = shard_index
+            elif shards_of[component] >= 0:
+                shards_of[component] = -1   # seen from several shards
+            bucket.append(event)
+    for component, bucket in components.items():
+        if shards_of[component] < 0:
+            bucket.sort(key=lambda event: event["ts"])
     pids: Dict[str, int] = {}
     events: List[dict] = []
     meta: List[dict] = []

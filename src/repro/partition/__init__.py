@@ -1,0 +1,45 @@
+"""Partitioned simulation: one prototype across worker processes.
+
+The SMAPPIC move applied to the simulator itself: the inter-FPGA PCIe
+tunnel's fixed latency makes the fabric a natural decoupling boundary,
+so one big configuration can be sharded by FPGA group across processes
+and advanced in conservative lockstep quanta — bit-identical to the
+monolithic run at any partition count.
+
+    from repro import Prototype, parse_config
+
+    proto = Prototype(parse_config("4x1x12"), partitions=0)  # 0 = by FPGA
+    cycles = proto.measure_pair_latency(0, 13)
+
+Package layout: :mod:`window` derives the lookahead quantum and the
+FPGA grouping; :mod:`fabric` cuts the PCIe fabric at partition edges;
+:mod:`shard` / :mod:`worker` are the per-process side; :mod:`engine`
+is the barrier coordinator; :mod:`prototype` adapts the `Prototype`
+API; :mod:`storm` is the synthetic benchmark workload.
+"""
+
+from .engine import PartitionEngine
+from .fabric import PartitionFabric
+from .prototype import PartitionedPrototype
+from .shard import (PARTITION_TRACE_CATEGORIES, PrototypeShard, Shard,
+                    build_prototype_shard, build_shard_observer,
+                    partition_trace_categories)
+from .window import (fpga_groups, lookahead_window, node_groups,
+                     resolve_partitions, window_for_config)
+
+__all__ = [
+    "PARTITION_TRACE_CATEGORIES",
+    "PartitionEngine",
+    "PartitionFabric",
+    "PartitionedPrototype",
+    "PrototypeShard",
+    "Shard",
+    "build_prototype_shard",
+    "build_shard_observer",
+    "fpga_groups",
+    "lookahead_window",
+    "node_groups",
+    "partition_trace_categories",
+    "resolve_partitions",
+    "window_for_config",
+]

@@ -1,0 +1,118 @@
+"""Lookahead-window derivation and partition assignment.
+
+The conservative quantum width comes straight from the SMAPPIC topology:
+nothing crosses between FPGAs except AXI bursts on the PCIe tunnel, and
+the tunnel's one-way latency is fixed (54 cycles).  A message sent at
+cycle ``t`` therefore cannot act on the far side before ``t + 54``, so
+every partition can run ``window`` cycles past the global minimum next
+event without ever missing a cross-partition arrival — the same
+fixed-latency decoupling EMiX uses between FPGAs and FireSim uses for
+token-based inter-host links.
+
+The window is *derived*, never hardcoded: it is the fabric's one-way
+PCIe latency minus the bridge encode/decode margin and any configured
+traffic-shaper latency (extra conservatism so a shaped prototype keeps a
+safety margin below the raw link latency).  Workers re-check the window
+against the live fabric and bridges they actually built, so a config
+whose latencies drifted from the coordinator's derivation fails loudly
+instead of desynchronizing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import PrototypeConfig
+from ..errors import ConfigError
+from ..interconnect.bridge import (DEFAULT_DECODE_LATENCY,
+                                   DEFAULT_ENCODE_LATENCY)
+from ..interconnect.pcie import INTRA_FPGA_LATENCY, PCIE_ONE_WAY_CYCLES
+
+
+def lookahead_window(pcie_one_way: int, encode_latency: int,
+                     decode_latency: int, shaper_latency: int = 0) -> int:
+    """Conservative quantum width for a fabric with the given latencies.
+
+    Raises :class:`ConfigError` when the margins eat the whole link
+    latency — a window below one cycle cannot make forward progress.
+    """
+    window = pcie_one_way - encode_latency - decode_latency - shaper_latency
+    if window < 1:
+        raise ConfigError(
+            f"partition lookahead window is {window} cycles "
+            f"(pcie_one_way={pcie_one_way} - encode={encode_latency} - "
+            f"decode={decode_latency} - shaper={shaper_latency}); "
+            "conservative synchronization needs a window >= 1 — lower the "
+            "inter-node shaper latency or run monolithic")
+    return window
+
+
+def window_for_config(config: PrototypeConfig,
+                      pcie_one_way: int = PCIE_ONE_WAY_CYCLES) -> int:
+    """The quantum width for ``config``'s fabric and bridge parameters."""
+    return lookahead_window(pcie_one_way, DEFAULT_ENCODE_LATENCY,
+                            DEFAULT_DECODE_LATENCY,
+                            config.inter_node_shaper_latency)
+
+
+def resolve_partitions(config: PrototypeConfig,
+                       partitions: Optional[int]) -> int:
+    """Validate and normalize a ``partitions=`` request.
+
+    ``None`` means "not requested" (monolithic), ``0`` means one
+    partition per FPGA, and any other count must divide the prototype at
+    FPGA boundaries: the only safe cut is the inter-FPGA PCIe link, so a
+    split needs at least as many FPGAs as partitions.
+    """
+    if partitions is None:
+        return 1
+    if isinstance(partitions, bool) or not isinstance(partitions, int):
+        raise ConfigError(f"partitions must be an int, got {partitions!r}")
+    if partitions < 0:
+        raise ConfigError(
+            f"partitions must be >= 0 (0 = one per FPGA), got {partitions}")
+    if partitions == 0:
+        if config.n_nodes > 1 and config.coherent_interconnect:
+            partitions = config.n_fpgas
+        else:
+            partitions = 1
+    if partitions == 1:
+        return 1
+    if config.n_nodes < 2 or not config.coherent_interconnect:
+        raise ConfigError(
+            f"cannot partition {config.label}: partitioned simulation "
+            "decouples at the inter-node PCIe fabric, which this "
+            "configuration does not build (needs > 1 node and "
+            "coherent_interconnect=True)")
+    if partitions > config.n_fpgas:
+        raise ConfigError(
+            f"cannot split {config.n_fpgas} FPGA(s) into {partitions} "
+            f"partitions: the decoupling boundary is the inter-FPGA PCIe "
+            f"link, and the intra-FPGA crossbar ({INTRA_FPGA_LATENCY} "
+            "cycles) is shorter than any safe sync window — nodes sharing "
+            "an FPGA must share a partition")
+    return partitions
+
+
+def fpga_groups(n_fpgas: int, partitions: int) -> List[List[int]]:
+    """Contiguous, as-even-as-possible FPGA groups, one per partition."""
+    base, extra = divmod(n_fpgas, partitions)
+    groups: List[List[int]] = []
+    start = 0
+    for index in range(partitions):
+        size = base + (1 if index < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def node_groups(config: PrototypeConfig,
+                partitions: int) -> List[List[int]]:
+    """The node ids owned by each partition (FPGA groups expanded)."""
+    groups = fpga_groups(config.n_fpgas, partitions)
+    owner = {fpga: index for index, group in enumerate(groups)
+             for fpga in group}
+    nodes: List[List[int]] = [[] for _ in range(partitions)]
+    for node in range(config.n_nodes):
+        nodes[owner[config.fpga_of_node(node)]].append(node)
+    return nodes

@@ -1,0 +1,289 @@
+"""Partitioned simulation: bit-identity with the monolithic run.
+
+The contract under test is absolute: a prototype sharded across worker
+processes (``Prototype(config, partitions=N)``) must produce the exact
+latencies, cycle counts, merged metrics, and merged streaming traces of
+the monolithic run, at any partition count, under every ``fast_path`` x
+``REPRO_KERNEL`` combination.  Plus the window derivation, the
+partition-count validation, and the CLI flag plumbing.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro import Prototype, parse_config
+from repro.cli import main
+from repro.cli_common import default_partitions, partitions_count
+from repro.errors import ConfigError, ReproError
+from repro.interconnect.pcie import PCIE_ONE_WAY_CYCLES
+from repro.obs import Observer, StreamingTracer, chrome_from_jsonl
+from repro.partition import (PARTITION_TRACE_CATEGORIES,
+                             PartitionedPrototype, fpga_groups,
+                             lookahead_window, node_groups,
+                             partition_trace_categories,
+                             resolve_partitions, window_for_config)
+from repro.partition.storm import (run_monolithic_storm,
+                                   run_partitioned_storm)
+
+#: Probe sampling is activity-driven per simulator, so identity runs
+#: push the interval out of reach instead of comparing sample grids.
+OBS_SPEC = {"sample_interval": 10**9}
+
+#: Inter-FPGA, intra-FPGA-inter-node (on 2x2x2), and intra-node pairs.
+PAIRS = ((0, 7), (2, 5), (0, 1))
+
+
+def _drive(proto):
+    return [proto.measure_pair_latency(src, dst) for src, dst in PAIRS]
+
+
+def _mono_run(label, fast_path=True, kernel=None, trace_path=None):
+    """Latencies, stats, metrics, and final cycle of a monolithic run."""
+    config = parse_config(label)
+    if trace_path is not None:
+        tracer = StreamingTracer(trace_path,
+                                 categories=PARTITION_TRACE_CATEGORIES)
+        obs = Observer(categories=PARTITION_TRACE_CATEGORIES,
+                       tracer=tracer, **OBS_SPEC)
+    else:
+        obs = Observer(categories=PARTITION_TRACE_CATEGORIES,
+                       tracing=False, **OBS_SPEC)
+    proto = Prototype(config, fast_path=fast_path, obs=obs, kernel=kernel)
+    latencies = _drive(proto)
+    result = {"latencies": latencies, "now": proto.now,
+              "stats": proto.stats_report(),
+              "metrics": obs.export_metrics()}
+    obs.close()
+    return result
+
+
+def _part_run(label, partitions, fast_path=True, kernel=None,
+              trace_dir=None):
+    """The same run sharded across ``partitions`` worker processes."""
+    proto = Prototype(parse_config(label), fast_path=fast_path,
+                      kernel=kernel, partitions=partitions,
+                      obs_spec=OBS_SPEC,
+                      trace_dir=None if trace_dir is None
+                      else str(trace_dir))
+    try:
+        latencies = _drive(proto)
+        result = {"latencies": latencies, "now": proto.now,
+                  "stats": proto.stats_report(),
+                  "metrics": proto.merged_metrics(),
+                  "partition": proto.partition_metrics(),
+                  "trace_paths": proto.trace_paths}
+    finally:
+        proto.close()
+    return result
+
+
+def _canon(metrics):
+    return json.dumps(metrics, sort_keys=True)
+
+
+class TestWindow:
+    def test_default_window_is_derived_from_pcie_margins(self):
+        assert lookahead_window(PCIE_ONE_WAY_CYCLES, 2, 2, 0) == 50
+        assert window_for_config(parse_config("4x1x2")) == 50
+
+    def test_shaper_latency_shrinks_the_window(self):
+        config = parse_config("4x1x2", inter_node_shaper_latency=10)
+        assert window_for_config(config) == 40
+
+    def test_margins_eating_the_link_reject_cleanly(self):
+        with pytest.raises(ConfigError, match="window"):
+            lookahead_window(PCIE_ONE_WAY_CYCLES, 30, 30, 0)
+        config = parse_config("4x1x2", inter_node_shaper_latency=50)
+        with pytest.raises(ConfigError, match="shaper"):
+            window_for_config(config)
+
+    def test_resolve_counts(self):
+        config = parse_config("4x1x2")
+        assert resolve_partitions(config, None) == 1
+        assert resolve_partitions(config, 1) == 1
+        assert resolve_partitions(config, 0) == 4      # one per FPGA
+        assert resolve_partitions(config, 3) == 3
+        single = parse_config("1x1x2")
+        assert resolve_partitions(single, 0) == 1      # nothing to split
+
+    def test_resolve_rejects_bad_counts(self):
+        config = parse_config("4x1x2")
+        with pytest.raises(ConfigError):
+            resolve_partitions(config, -1)
+        with pytest.raises(ConfigError):
+            resolve_partitions(config, True)
+        with pytest.raises(ConfigError):
+            resolve_partitions(config, 2.0)
+
+    def test_intra_fpga_split_rejected(self):
+        # More partitions than FPGAs would have to cut the intra-FPGA
+        # crossbar, whose latency is below any safe sync window.
+        with pytest.raises(ConfigError, match="intra-FPGA"):
+            resolve_partitions(parse_config("4x1x2"), 5)
+        with pytest.raises(ConfigError, match="intra-FPGA"):
+            Prototype(parse_config("2x2x2"), partitions=3)
+
+    def test_uncuttable_configs_rejected(self):
+        with pytest.raises(ConfigError, match="coherent"):
+            resolve_partitions(parse_config("1x1x2"), 2)
+        loose = parse_config("4x1x2", coherent_interconnect=False)
+        with pytest.raises(ConfigError, match="coherent"):
+            resolve_partitions(loose, 2)
+
+    def test_fpga_and_node_groups(self):
+        assert fpga_groups(4, 2) == [[0, 1], [2, 3]]
+        assert fpga_groups(4, 4) == [[0], [1], [2], [3]]
+        assert fpga_groups(5, 2) == [[0, 1, 2], [3, 4]]
+        assert node_groups(parse_config("2x2x2"), 2) == [[0, 1], [2, 3]]
+
+    def test_kernel_trace_category_rejected(self):
+        assert partition_trace_categories(None) == PARTITION_TRACE_CATEGORIES
+        with pytest.raises(ConfigError, match="kernel"):
+            partition_trace_categories(("noc", "kernel"))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("fast_path", [True, False])
+    @pytest.mark.parametrize("kernel", ["python", "accel"])
+    def test_metrics_identical_across_modes(self, fast_path, kernel):
+        mono = _mono_run("4x1x2", fast_path=fast_path, kernel=kernel)
+        part = _part_run("4x1x2", 2, fast_path=fast_path, kernel=kernel)
+        assert part["latencies"] == mono["latencies"]
+        assert part["now"] == mono["now"]
+        assert part["stats"] == mono["stats"]
+        assert _canon(part["metrics"]) == _canon(mono["metrics"])
+
+    @pytest.mark.parametrize("partitions", [2, 4])
+    def test_any_partition_count_matches(self, partitions):
+        mono = _mono_run("4x1x2")
+        part = _part_run("4x1x2", partitions)
+        assert part["latencies"] == mono["latencies"]
+        assert part["now"] == mono["now"]
+        assert _canon(part["metrics"]) == _canon(mono["metrics"])
+
+    def test_multi_node_per_fpga_matches(self):
+        # 2x2x2 exercises both cut links and kept intra-FPGA xbar links.
+        mono = _mono_run("2x2x2")
+        part = _part_run("2x2x2", 2)
+        assert part["latencies"] == mono["latencies"]
+        assert part["now"] == mono["now"]
+        assert part["stats"] == mono["stats"]
+        assert _canon(part["metrics"]) == _canon(mono["metrics"])
+
+    @pytest.mark.parametrize("partitions", [2, 4])
+    def test_streamed_traces_identical(self, tmp_path, partitions):
+        mono_path = tmp_path / "mono.jsonl"
+        mono = _mono_run("4x1x2", trace_path=str(mono_path))
+        shard_dir = tmp_path / f"p{partitions}"
+        shard_dir.mkdir()
+        part = _part_run("4x1x2", partitions, trace_dir=shard_dir)
+        assert part["latencies"] == mono["latencies"]
+        reference = chrome_from_jsonl(str(mono_path))
+        merged = chrome_from_jsonl(part["trace_paths"])
+        assert json.dumps(merged, sort_keys=True) == \
+            json.dumps(reference, sort_keys=True)
+
+    def test_partition_counters_exported(self):
+        part = _part_run("4x1x2", 2)
+        counters = part["partition"]
+        assert counters["obs.partition.partitions"] == 2
+        assert counters["obs.partition.window"] == 50
+        assert counters["obs.partition.quanta"] > 0
+        assert counters["obs.partition.boundary_messages"] > 0
+        assert counters["obs.partition.barrier_wait_seconds"] >= 0.0
+        assert counters["obs.partition.events"] > 0
+
+
+class TestPartitionedSurface:
+    def test_live_observer_rejected(self):
+        with pytest.raises(ConfigError, match="obs_spec"):
+            Prototype(parse_config("4x1x2"), partitions=2,
+                      obs=Observer(tracing=False))
+
+    def test_component_access_and_max_events_rejected(self):
+        proto = Prototype(parse_config("4x1x2"), partitions=2)
+        try:
+            assert isinstance(proto, PartitionedPrototype)
+            with pytest.raises(ConfigError, match="worker"):
+                proto.tile(0, 0)
+            with pytest.raises(ConfigError, match="worker"):
+                proto.all_tiles()
+            with pytest.raises(ConfigError, match="max_events"):
+                proto.run(max_events=10)
+            with pytest.raises(ConfigError, match="obs_spec"):
+                proto.merged_metrics()
+        finally:
+            proto.close()
+
+    def test_functional_memory_crosses_partitions(self):
+        proto = Prototype(parse_config("4x1x2"), partitions=4)
+        try:
+            for node in range(4):
+                payload = bytes([0x40 + node]) * 24
+                proto.load_image(64, payload, node_id=node)
+                assert proto.peek_memory(64, 24, node_id=node) == payload
+            image = bytes(range(200))
+            proto.load_image(4096, image)   # homing-routed across nodes
+            assert proto.peek_memory(4096, 200) == image
+        finally:
+            proto.close()
+
+
+class TestStorm:
+    SHAPE = dict(chains=8, hops=6, batch_width=4, tokens=8)
+
+    @pytest.mark.parametrize("fast_path,kernel",
+                             [(True, "python"), (False, "accel")])
+    def test_digests_match_monolithic(self, fast_path, kernel):
+        mono = run_monolithic_storm(shards=4, fast_path=fast_path,
+                                    kernel=kernel, **self.SHAPE)
+        part = run_partitioned_storm(shards=4, fast_path=fast_path,
+                                     kernel=kernel, **self.SHAPE)
+        assert part["digests"] == mono["digests"]
+        assert part["events"] == mono["events"]
+        assert part["now"] == mono["now"]
+        assert part["partition_metrics"]["obs.partition.quanta"] > 0
+
+
+class TestCli:
+    def test_partitions_count_type(self):
+        assert partitions_count("0") == 0
+        assert partitions_count("3") == 3
+        with pytest.raises(argparse.ArgumentTypeError):
+            partitions_count("-1")
+        with pytest.raises(argparse.ArgumentTypeError):
+            partitions_count("two")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARTITIONS", raising=False)
+        assert default_partitions() is None
+        monkeypatch.setenv("REPRO_PARTITIONS", "2")
+        assert default_partitions() == 2
+        monkeypatch.setenv("REPRO_PARTITIONS", "nope")
+        with pytest.raises(ReproError):
+            default_partitions()
+        monkeypatch.setenv("REPRO_PARTITIONS", "-2")
+        with pytest.raises(ReproError):
+            default_partitions()
+
+    def test_latency_table_matches_monolithic(self, capsys):
+        assert main(["latency", "2x1x2", "--partitions", "2"]) == 0
+        partitioned = capsys.readouterr().out
+        assert main(["latency", "2x1x2"]) == 0
+        assert capsys.readouterr().out == partitioned
+
+    def test_latency_rejects_jobs_with_partitions(self, capsys):
+        assert main(["latency", "4x1x2", "--partitions", "2",
+                     "--jobs", "2"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_rejects_partitions_flag(self, capsys):
+        assert main(["sweep", "--partitions", "2"]) == 2
+        assert "repro latency" in capsys.readouterr().err
+
+    def test_sweep_ignores_env_partitions(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PARTITIONS", "2")
+        assert main(["sweep"]) == 0
+        assert "1x12" in capsys.readouterr().out
