@@ -1,0 +1,62 @@
+"""CI gate: the farm smoke fleet must retry its injected failure and
+produce a byte-identical series to the plain serial sweep.
+
+``repro farm run .github/farm_smoke.json`` ran a 6-point Fig. 8 suite
+on a 2-slot local farm with one injected transient failure (fig8/2
+fails its first attempt).  This script checks the report it left:
+
+* the fleet settled completely (6 done, 0 failed) *through* the retry
+  path (``obs.farm.retried`` >= 1 in the manifest counters);
+* the merged suite series is byte-identical to ``run_sweep`` of the
+  same spec run serially in this process — the farm is a scheduler,
+  never a different experiment.
+"""
+
+import json
+import os
+import sys
+
+REPORT = "farm-report"
+THREADS = (2, 3, 4, 5, 6, 8)
+
+
+def main():
+    with open(os.path.join(REPORT, "farm.json")) as handle:
+        manifest = json.load(handle)
+    counters = manifest["counters"]
+    if not manifest["final"]:
+        sys.exit("farm.json is not final — the fleet did not settle")
+    if counters["obs.farm.done"] != len(THREADS):
+        sys.exit(f"expected {len(THREADS)} done jobs, got "
+                 f"{counters['obs.farm.done']}")
+    if counters["obs.farm.failed"] != 0:
+        sys.exit(f"{counters['obs.farm.failed']} job(s) failed")
+    if counters["obs.farm.retried"] < 1:
+        sys.exit("the injected transient failure was not retried "
+                 f"(obs.farm.retried={counters['obs.farm.retried']})")
+
+    with open(os.path.join(REPORT, "suites", "fig8.json")) as handle:
+        suite = json.load(handle)
+
+    from repro.core.config import parse_config
+    from repro.parallel import fig8_spec, run_sweep
+    # obs_spec={} mirrors the spec-file suite default (metrics ride
+    # along for the farm report), so the whole value compares equal.
+    serial = run_sweep(fig8_spec(parse_config("2x2x2"),
+                                 thread_counts=THREADS,
+                                 obs_spec={}), jobs=1)
+    farm_value = json.dumps(suite["value"], sort_keys=True)
+    serial_value = json.dumps(serial.value, sort_keys=True)
+    if farm_value != serial_value:
+        sys.exit("farm suite value differs from the serial run_sweep")
+    if suite["config_hash"] != serial.config_hash:
+        sys.exit("farm and serial sweeps disagree on config_hash")
+
+    print(f"farm smoke OK: {counters['obs.farm.done']} done via "
+          f"{counters['obs.farm.launched']} launches "
+          f"({counters['obs.farm.retried']} retried), series "
+          f"byte-identical to the serial sweep")
+
+
+if __name__ == "__main__":
+    main()

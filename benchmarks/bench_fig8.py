@@ -9,7 +9,10 @@ the cycle-level 4x1x12 prototype, then fed into the phase-level IS model
 zero machine measurements (``obs.store.hit`` == point count) and yields
 a byte-identical series; ``REPRO_ARCHIVE=runs`` persists the
 shard-merged metrics — including the ``obs.store.*`` counters — plus the
-series as a run archive at ``runs/fig8-4x1x12``.
+series as a run archive at ``runs/fig8-4x1x12``;
+``REPRO_FARM=HOSTSxSLOTS`` runs the sweep as a farm suite instead (same
+points, same seeds, byte-identical series — the farm is a scheduler,
+not a different experiment).
 """
 
 import os
@@ -17,6 +20,7 @@ import time
 
 from repro.analysis import line_series
 from repro.core.config import parse_config
+from repro.farm import farm_from_env, farm_sweep
 from repro.obs.archive import RunArchive, archive_root_from_env
 from repro.osmodel import NumaMachine, machine_from_prototype
 from repro.parallel import env_jobs, fig8_spec, resolve_jobs, run_sweep
@@ -28,15 +32,20 @@ def compute_fig8():
     root = archive_root_from_env()
     store = store_from_env()
     jobs = env_jobs()
-    if root is None and store is None and resolve_jobs(jobs) <= 1:
+    farm = farm_from_env()
+    if (root is None and store is None and farm is None
+            and resolve_jobs(jobs) <= 1):
         # Cheap plain path: one machine measurement, serial model eval.
         from repro.core.prototype import Prototype
         from repro.workloads.intsort import fig8_series
         machine = machine_from_prototype(Prototype(config))
         return machine, fig8_series(machine)
     start = time.perf_counter()
-    result = run_sweep(fig8_spec(config, obs_spec={} if root else None),
-                       jobs=jobs, store=store)
+    spec = fig8_spec(config, obs_spec={} if root else None)
+    if farm is not None:
+        result = farm_sweep(spec, farm, store=store)
+    else:
+        result = run_sweep(spec, jobs=jobs, store=store)
     machine = NumaMachine.from_dict(result.value["machine"])
     series = result.value["series"]
     if root is not None:

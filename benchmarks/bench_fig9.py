@@ -3,7 +3,8 @@
 ``REPRO_JOBS=N`` shards the sweep one task per node count;
 ``REPRO_STORE=store`` memoizes every point (a warm rerun measures no
 machines); ``REPRO_ARCHIVE=runs`` persists the merged metrics and the
-series at ``runs/fig9-4x1x12``.
+series at ``runs/fig9-4x1x12``; ``REPRO_FARM=HOSTSxSLOTS`` runs the
+sweep as a farm suite with a byte-identical series.
 """
 
 import os
@@ -11,6 +12,7 @@ import time
 
 from repro.analysis import line_series
 from repro.core.config import parse_config
+from repro.farm import farm_from_env, farm_sweep
 from repro.obs.archive import RunArchive, archive_root_from_env
 from repro.parallel import env_jobs, fig9_spec, resolve_jobs, run_sweep
 from repro.store import store_from_env
@@ -21,7 +23,9 @@ def compute_fig9():
     root = archive_root_from_env()
     store = store_from_env()
     jobs = env_jobs()
-    if root is None and store is None and resolve_jobs(jobs) <= 1:
+    farm = farm_from_env()
+    if (root is None and store is None and farm is None
+            and resolve_jobs(jobs) <= 1):
         # Cheap plain path: one machine measurement, serial model eval.
         from repro.core.prototype import Prototype
         from repro.osmodel import machine_from_prototype
@@ -29,8 +33,11 @@ def compute_fig9():
         machine = machine_from_prototype(Prototype(config))
         return fig9_series(machine)
     start = time.perf_counter()
-    result = run_sweep(fig9_spec(config, obs_spec={} if root else None),
-                       jobs=jobs, store=store)
+    spec = fig9_spec(config, obs_spec={} if root else None)
+    if farm is not None:
+        result = farm_sweep(spec, farm, store=store)
+    else:
+        result = run_sweep(spec, jobs=jobs, store=store)
     series = result.value["series"]
     if root is not None:
         metrics = dict(result.value["metrics"])

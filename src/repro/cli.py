@@ -14,6 +14,8 @@ simulation::
     python -m repro stats 2x1x2            # Prometheus-style metrics dump
     python -m repro diff runs/a runs/b     # cross-run metric deltas / gate
     python -m repro cache stats            # result-store contents / GC
+    python -m repro farm run spec.json     # a fleet of runs over a host pool
+    python -m repro farm status report/    # live fleet progress
 
 Common flags (``--seed``/``--output``/``--archive``/``--jobs``/
 ``--sample-intervals``/``--store``) come from :mod:`repro.cli_common`
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -40,7 +43,8 @@ from .errors import ReproError
 from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
                    estimate_build, max_tiles_per_fpga)
 from .parallel import probe_rows, run_tasks
-from .store import ResultStore, default_store_root, gc_runs, parse_age
+from .store import (ResultStore, default_store_root, gc_kernels, gc_runs,
+                    kernel_cache_dir, parse_age)
 from .store import parse_bytes as parse_size
 
 
@@ -91,6 +95,12 @@ def cmd_sweep(args) -> int:
             "sweep estimates FPGA resource fit without simulating; "
             "--partitions shards a simulation — use it on `repro "
             "latency` (or set REPRO_PARTITIONS for the benchmarks)")
+    if os.environ.get("REPRO_PARTITIONS"):
+        # sweep ignores the env on purpose (env_default=False above);
+        # say so instead of silently doing nothing with it.
+        print("warning: REPRO_PARTITIONS is set but sweep does not "
+              "simulate, so it has no effect here (it applies to "
+              "`repro latency` and the benchmarks)", file=sys.stderr)
     grid = [(nodes, tiles, args.core)
             for nodes in range(1, DRAM_INTERFACES_PER_FPGA + 1)
             for tiles in range(1, max_tiles_per_fpga(args.core) + 1)]
@@ -463,6 +473,13 @@ def cmd_cache_gc(args) -> int:
     print(f"runs {args.runs}: removed {run_stats.removed} archives "
           f"({run_stats.removed_bytes} bytes), kept {run_stats.kept} "
           f"({run_stats.kept_bytes} bytes)")
+    if not args.keep_kernels:
+        kernels = kernel_cache_dir()
+        kernel_stats = gc_kernels(kernels, max_age_seconds=max_age,
+                                  max_bytes=max_bytes)
+        print(f"kernels {kernels}: removed {kernel_stats.removed} files "
+              f"({kernel_stats.removed_bytes} bytes), kept "
+              f"{kernel_stats.kept} ({kernel_stats.kept_bytes} bytes)")
     return 0
 
 
@@ -470,6 +487,71 @@ def cmd_cache_clear(args) -> int:
     store = ResultStore(args.store)
     removed = store.clear()
     print(f"store {store.root}: removed {removed} entries")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro farm — fleets of runs over a host pool
+# ----------------------------------------------------------------------
+
+def cmd_farm_run(args) -> int:
+    from .cli_common import command_line
+    from .farm import load_spec_file, run_file_spec
+
+    filespec = load_spec_file(args.spec)
+    report_dir = args.report or filespec.report
+    result, suite_entries, suite_errors = run_file_spec(
+        filespec, report_dir=report_dir, command=command_line())
+    counters = result.counters
+    rows = [[state.job_id, state.state, state.attempts, state.retries,
+             state.host or "",
+             state.error["type"] if state.error else ""]
+            for state in result.states]
+    emit(args, render_table(
+        ["job", "state", "attempts", "retries", "host", "error"], rows,
+        title=f"farm run: {counters.done} done, {counters.failed} "
+              f"failed ({counters.quarantined} quarantined), "
+              f"{counters.retried} retried, "
+              f"{counters.launched} launches on "
+              f"{counters.slots_total} slots"),
+        what="farm run table")
+    for suite_id in sorted(suite_entries):
+        entry = suite_entries[suite_id]
+        print(f"suite {suite_id}: {entry['points']} points merged "
+              f"({entry['hits']} store hits), config {entry['config_hash'][:12]}")
+    for error in suite_errors:
+        print(f"error: {error}", file=sys.stderr)
+    if report_dir is not None:
+        print(f"farm report at {report_dir} "
+              f"(inspect with `repro farm status {report_dir}`)")
+    return 0 if result.ok and not suite_errors else 1
+
+
+def cmd_farm_status(args) -> int:
+    from .farm import load_farm_manifest
+
+    manifest = load_farm_manifest(args.report_dir)
+    if args.format == "json":
+        emit(args, json.dumps(manifest, indent=2, sort_keys=True),
+             what="farm status")
+        return 0
+    counters = manifest["counters"]
+    phase = "final" if manifest.get("final") else "in flight"
+    age = _age_text(max(0.0, time.time()
+                        - manifest.get("written_at_unix", 0.0)))
+    rows = [[job["job_id"], job["state"], job["attempts"],
+             job["retries"], job.get("host") or "",
+             (job.get("error") or {}).get("type", "")]
+            for job in manifest["jobs"]]
+    emit(args, render_table(
+        ["job", "state", "attempts", "retries", "host", "error"], rows,
+        title=f"farm {phase} (written {age} ago): "
+              f"{counters['obs.farm.queued']} queued, "
+              f"{counters['obs.farm.running']} running, "
+              f"{counters['obs.farm.done']} done, "
+              f"{counters['obs.farm.failed']} failed, "
+              f"{counters['obs.farm.retried']} retried"),
+        what="farm status table")
     return 0
 
 
@@ -595,8 +677,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_stats.set_defaults(func=cmd_cache_stats)
 
     cache_gc = cache_sub.add_parser(
-        "gc", help="apply the retention policy to the store and the "
-                   "runs/ archives",
+        "gc", help="apply the retention policy to the store, the runs/ "
+                   "archives, and the compiled-kernel cache",
         parents=[cache_store])
     cache_gc.add_argument("--max-age", default=None, metavar="AGE",
                           help="drop entries older than AGE "
@@ -607,12 +689,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_gc.add_argument("--runs", default="runs", metavar="DIR",
                           help="run-archive tree covered by the same "
                                "policy (default: runs)")
+    cache_gc.add_argument("--keep-kernels", action="store_true",
+                          help="leave the compiled drain-kernel cache "
+                               "(_drain_cache .so files) alone instead "
+                               "of applying the policy to it too")
     cache_gc.set_defaults(func=cmd_cache_gc)
 
     cache_clear = cache_sub.add_parser(
         "clear", help="drop every stored entry",
         parents=[cache_store])
     cache_clear.set_defaults(func=cmd_cache_clear)
+
+    farm = subparsers.add_parser(
+        "farm", help="run and inspect fleets of runs over a host pool")
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    farm_run = farm_sub.add_parser(
+        "run", help="run the fleet a spec file declares (suites expand "
+                    "to one job per sweep point; failures retry with "
+                    "backoff)",
+        parents=[output_flags("write the run table to PATH instead of "
+                              "stdout")])
+    farm_run.add_argument("spec", help="farm spec file (.json, or "
+                                       ".yaml with PyYAML installed)")
+    farm_run.add_argument("--report", default=None, metavar="DIR",
+                          help="collect the report directory at DIR "
+                               "(overrides the spec's 'report' key)")
+    farm_run.set_defaults(func=cmd_farm_run)
+
+    farm_status = farm_sub.add_parser(
+        "status", help="render a farm report's manifest (live while the "
+                       "fleet runs, final afterwards)",
+        parents=[format_flags(), output_flags()])
+    farm_status.add_argument("report_dir", help="farm report directory")
+    farm_status.set_defaults(func=cmd_farm_status)
 
     args = parser.parse_args(argv)
     try:

@@ -36,3 +36,12 @@ class WorkloadError(ReproError):
 
 class StoreError(ReproError):
     """The persistent result store was given an invalid request."""
+
+
+class FarmError(ReproError):
+    """The run farm was mis-specified or a fleet run failed."""
+
+
+class TransientJobError(ReproError):
+    """A farm job failed for a reason worth retrying (raise this from a
+    job function to request a retry instead of a deterministic failure)."""

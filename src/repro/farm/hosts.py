@@ -1,0 +1,170 @@
+"""Farm hosts: where job attempts actually run.
+
+The built-in backend is :class:`LocalHost` — every attempt is a forked
+worker process on this machine, and a host's ``slots`` bound how many
+slot-weights run on it at once (the process-pool analogue of FireSim's
+``run_farm`` instances).  The deploy seam is deliberately narrow so a
+multi-machine backend can plug in later: a host launches an attempt and
+returns a :class:`JobHandle` carrying the attempt's private event pipe;
+the scheduler polls handles for liveness, reads events off their pipes,
+and kills through the handle.  :class:`ExternalHost` is the protocol
+stub for externally provisioned hosts — subclass it, implement
+``launch`` (relay the remote worker's events into a local pipe), and
+register the backend name with :func:`register_host_backend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Optional, Type
+
+from ..errors import FarmError
+from .spec import HostSpec, JobSpec
+from .worker import worker_main
+
+
+class JobHandle:
+    """One running attempt, as the scheduler sees it.
+
+    ``events`` is the read end of the attempt's event pipe (an object
+    with ``poll``/``recv``/``close``/``fileno``); the scheduler owns it
+    after launch and closes it on release.
+    """
+
+    def __init__(self, job: JobSpec, attempt: int, events) -> None:
+        self.job = job
+        self.attempt = attempt
+        self.events = events
+        self.events_open = events is not None
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def exit_code(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        raise NotImplementedError
+
+    def reap(self) -> None:
+        """Release OS resources after the attempt finished."""
+        if self.events is not None:
+            try:
+                self.events.close()
+            except OSError:
+                pass
+            self.events_open = False
+
+
+class Host:
+    """Deploy-manager protocol: launch attempts, bounded by slots."""
+
+    def __init__(self, spec: HostSpec) -> None:
+        self.spec = spec
+        self.busy_slots = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def slots(self) -> int:
+        return self.spec.slots
+
+    @property
+    def free_slots(self) -> int:
+        return self.spec.slots - self.busy_slots
+
+    def launch(self, job: JobSpec, attempt: int,
+               heartbeat_interval: float) -> JobHandle:
+        raise NotImplementedError
+
+
+class _ProcessHandle(JobHandle):
+    def __init__(self, job: JobSpec, attempt: int, events,
+                 process: multiprocessing.Process) -> None:
+        super().__init__(job, attempt, events)
+        self.process = process
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def exit_code(self) -> Optional[int]:
+        return self.process.exitcode
+
+    def terminate(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def reap(self) -> None:
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        try:
+            self.process.close()
+        except ValueError:
+            pass
+        super().reap()
+
+
+class LocalHost(Host):
+    """The built-in backend: one forked worker process per attempt,
+    with a private event pipe per attempt (kill-safe by construction)."""
+
+    def launch(self, job: JobSpec, attempt: int,
+               heartbeat_interval: float) -> JobHandle:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=worker_main,
+            args=(job.job_id, attempt, job.fn, job.payload, child_conn,
+                  heartbeat_interval, job.inject_fail, job.inject_crash,
+                  job.inject_hang),
+            name=f"repro-farm-{self.name}-{job.job_id}-a{attempt}",
+            daemon=False)
+        process.start()
+        # The child inherited its end; closing ours makes worker death
+        # observable as EOF on the parent end.
+        child_conn.close()
+        return _ProcessHandle(job, attempt, parent_conn, process)
+
+
+class ExternalHost(Host):
+    """Protocol stub for externally provisioned (multi-machine) hosts.
+
+    A real implementation ships the job payload to a remote machine
+    (SSH, a cloud instance, a queue), relays the remote worker's event
+    stream into the handle's local pipe, and maps
+    ``alive``/``terminate`` onto the remote process.  The stub exists
+    so the scheduler's seam is typed and tested today; launching on it
+    is an explicit error, not a silent local fallback.
+    """
+
+    def launch(self, job: JobSpec, attempt: int,
+               heartbeat_interval: float) -> JobHandle:
+        raise FarmError(
+            f"farm: host {self.name!r} uses the 'external' protocol "
+            f"stub; subclass ExternalHost and register_host_backend() "
+            f"a real implementation")
+
+
+_BACKENDS: Dict[str, Type[Host]] = {
+    "local": LocalHost,
+    "external": ExternalHost,
+}
+
+
+def register_host_backend(name: str, cls: Type[Host]) -> None:
+    """Register a host backend (the multi-host plug-in point)."""
+    if not issubclass(cls, Host):
+        raise FarmError(f"farm: backend {name!r} must subclass Host")
+    _BACKENDS[name] = cls
+
+
+def build_host(spec: HostSpec) -> Host:
+    cls = _BACKENDS.get(spec.backend)
+    if cls is None:
+        raise FarmError(
+            f"farm: host {spec.name!r} names unknown backend "
+            f"{spec.backend!r} (known: {sorted(_BACKENDS)})")
+    return cls(spec)

@@ -1,0 +1,111 @@
+"""The farm worker: one process, one job attempt, a stream of events.
+
+The deploy manager launches every attempt as its own process running
+:func:`worker_main`.  The worker's only channel back is its private
+event pipe; everything it says is a tuple whose first element is the
+event kind:
+
+``("started", job_id, attempt, pid)``
+    Sent first, before the job function runs.
+``("heartbeat", job_id, attempt, unix_time)``
+    Sent by a daemon thread every ``heartbeat_interval`` seconds while
+    the job function runs — liveness, not progress.
+``("done", job_id, attempt, result)``
+    The job function returned; ``result`` is its (picklable) value.
+``("failed", job_id, attempt, transient?, error_type, error_text, tb)``
+    The job function raised.  ``transient?`` marks errors worth
+    retrying (:class:`~repro.errors.TransientJobError`); everything
+    else is judged by the scheduler's quarantine rule instead.
+
+Each attempt gets its *own* pipe on purpose: a shared
+``multiprocessing.Queue`` can be poisoned for every worker when one
+writer is terminated mid-``put`` (the feeder thread dies holding the
+queue lock), whereas killing a pipe writer costs nothing but its own
+channel.  A worker that dies without a ``done``/``failed`` event
+(crash, OOM kill, injected ``os._exit``) is detected by the deploy
+manager through pipe EOF plus its exit code and treated as a transient
+failure.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+
+from ..errors import TransientJobError
+
+#: Exit code of an injected crash (tests assert the scheduler survives
+#: workers that die without posting any event).
+CRASH_EXIT_CODE = 43
+
+
+class EventSender:
+    """Thread-safe sender over the attempt's pipe connection.
+
+    ``Connection.send`` is not documented as thread-safe and the
+    heartbeat thread races the main thread's completion event, so every
+    send takes the lock.  Send failures are swallowed: once the
+    scheduler has released the attempt (closed its end), nothing the
+    worker still has to say matters.
+    """
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, event) -> None:
+        try:
+            with self._lock:
+                self.conn.send(event)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+
+
+def _heartbeat_loop(events: EventSender, job_id: str, attempt: int,
+                    interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        events.send(("heartbeat", job_id, attempt, time.time()))
+
+
+def worker_main(job_id: str, attempt: int, fn, payload, conn,
+                heartbeat_interval: float, inject_fail: int,
+                inject_crash: int, inject_hang: int) -> None:
+    """Run one job attempt; never raises (everything goes to the pipe)."""
+    events = EventSender(conn)
+    events.send(("started", job_id, attempt, os.getpid()))
+    if inject_hang >= attempt:
+        # Injected hang: stay alive but never beat — exercises the
+        # heartbeat-timeout kill path.  (No heartbeat thread at all.)
+        time.sleep(3600)
+        return
+    if inject_crash >= attempt:
+        # Injected crash: die without a word, like an OOM kill.
+        os._exit(CRASH_EXIT_CODE)
+    events.send(("heartbeat", job_id, attempt, time.time()))
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(events, job_id, attempt, heartbeat_interval, stop),
+        daemon=True)
+    beat.start()
+    try:
+        if inject_fail >= attempt:
+            raise TransientJobError(
+                f"injected transient failure (attempt {attempt})")
+        result = fn(payload)
+    except BaseException as error:   # noqa: BLE001 — everything reports
+        events.send(("failed", job_id, attempt,
+                     isinstance(error, TransientJobError),
+                     type(error).__name__, str(error),
+                     traceback.format_exc()))
+    else:
+        events.send(("done", job_id, attempt, result))
+    finally:
+        stop.set()
+        beat.join(timeout=1.0)
+        try:
+            conn.close()
+        except OSError:
+            pass

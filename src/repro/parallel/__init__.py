@@ -24,11 +24,13 @@ from .osmodel import (fig8_spec, fig9_spec, sharded_fig8_series,
                       sharded_fig9_series)
 from .probes import latency_matrix_spec, probe_rows, sharded_latency_matrix
 from .runner import env_jobs, fixed_shards, resolve_jobs, run_tasks, task_seed
-from .sweep import SweepResult, SweepSpec, run_sweep
+from .sweep import (SweepResult, SweepSpec, collect_sweep, run_sweep,
+                    sweep_point_task, sweep_tasks)
 
 __all__ = [
     "SweepResult",
     "SweepSpec",
+    "collect_sweep",
     "env_jobs",
     "fig8_spec",
     "fig9_spec",
@@ -41,5 +43,7 @@ __all__ = [
     "sharded_fig8_series",
     "sharded_fig9_series",
     "sharded_latency_matrix",
+    "sweep_point_task",
+    "sweep_tasks",
     "task_seed",
 ]

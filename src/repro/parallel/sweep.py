@@ -102,21 +102,25 @@ def _sweep_worker(task: _SweepTask):
             store.writes if store else 0)
 
 
-def run_sweep(spec: SweepSpec, jobs: Optional[int] = 1,
-              store: Optional[ResultStore] = None) -> SweepResult:
-    """Run one sweep: shard, memoize, merge.
+#: Public name of the worker for other executors (``repro.farm`` runs
+#: the *same* callable per point, which is what makes a farm suite
+#: byte-identical to ``run_sweep`` by construction).
+sweep_point_task = _sweep_worker
 
-    ``jobs`` follows the package contract (1 = in-process serial, N = a
-    process pool, 0/None = one worker per CPU; results identical
-    everywhere).  With a ``store``, every point is looked up before it is
-    simulated and published after; the caller's store instance ends up
-    with the whole sweep's hit/miss/evict/write counters regardless of
-    where the workers ran.
+
+def sweep_tasks(spec: SweepSpec,
+                store_root: Optional[str] = None
+                ) -> Tuple[str, List[_SweepTask]]:
+    """``(config_hash, ordered task list)`` for one sweep.
+
+    The single source of point identity — task composition, derived
+    seeds, and store key payloads — shared by :func:`run_sweep` and the
+    :mod:`repro.farm` suite builders, so both executors address the
+    same cache entries and produce the same values for the same spec.
     """
     from ..obs.archive import config_hash
 
     cfg_hash = config_hash(spec.config)
-    store_root = store.root if store is not None else None
     tasks: List[_SweepTask] = []
     for index, point in enumerate(spec.points):
         point = canonical_value(point)
@@ -131,7 +135,18 @@ def run_sweep(spec: SweepSpec, jobs: Optional[int] = 1,
         }
         tasks.append((spec.point_fn, spec.config, point, seed,
                       spec.obs_spec, store_root, payload))
-    results = run_tasks(_sweep_worker, tasks, jobs=jobs)
+    return cfg_hash, tasks
+
+
+def collect_sweep(spec: SweepSpec, cfg_hash: str, results: Sequence,
+                  store: Optional[ResultStore] = None) -> SweepResult:
+    """Fold ordered worker results into a :class:`SweepResult`.
+
+    ``results`` are :func:`sweep_point_task` returns in task order; the
+    fold (value extraction, counter accounting, ``merge_fn``) is shared
+    by every executor, so *how* the points ran can never change what
+    the sweep is worth.
+    """
     values = [value for value, _hit, _evicted, _writes in results]
     hits = sum(1 for _v, hit, _e, _w in results if hit)
     misses = len(results) - hits
@@ -142,3 +157,22 @@ def run_sweep(spec: SweepSpec, jobs: Optional[int] = 1,
     merged = spec.merge_fn(values) if spec.merge_fn else values
     return SweepResult(value=merged, values=values, config_hash=cfg_hash,
                        hits=hits, misses=misses, evictions=evictions)
+
+
+def run_sweep(spec: SweepSpec, jobs: Optional[int] = 1,
+              store: Optional[ResultStore] = None) -> SweepResult:
+    """Run one sweep: shard, memoize, merge.
+
+    ``jobs`` follows the package contract (1 = in-process serial, N = a
+    process pool, 0/None = one worker per CPU; results identical
+    everywhere).  With a ``store``, every point is looked up before it is
+    simulated and published after; the caller's store instance ends up
+    with the whole sweep's hit/miss/evict/write counters regardless of
+    where the workers ran.  (:func:`repro.farm.farm_sweep` is the third
+    executor of the same tasks — scheduled on a host pool with retry —
+    and returns a byte-identical result.)
+    """
+    cfg_hash, tasks = sweep_tasks(
+        spec, store_root=store.root if store is not None else None)
+    results = run_tasks(_sweep_worker, tasks, jobs=jobs)
+    return collect_sweep(spec, cfg_hash, results, store=store)

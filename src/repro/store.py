@@ -83,6 +83,17 @@ DEFAULT_STORE_ROOT = ".repro-store"
 
 _OBJECTS_DIR = "objects"
 
+#: A temp file this much older than "now" cannot belong to a live writer
+#: (publishes take milliseconds) — it is debris from a crashed writer
+#: and is swept when the store is scanned.
+TMP_SWEEP_GRACE_SECONDS = 600.0
+
+
+def _is_tmp_name(name: str) -> bool:
+    """Writer debris: our mkstemp names (``.tmp-*.json``) or generic
+    ``*.tmp`` files, never a published ``<key>.json`` entry."""
+    return name.startswith(".tmp-") or name.endswith(".tmp")
+
 
 def entry_key(payload: Dict[str, object]) -> str:
     """The content address of a key payload (canonical-JSON SHA-256)."""
@@ -242,6 +253,56 @@ def _dir_item(path: str) -> GCItem:
     return GCItem(path=path, bytes=total, mtime=newest)
 
 
+def kernel_cache_dir() -> str:
+    """The compiled drain-kernel cache directory (``repro.engine``'s
+    ``_drain_cache``, or the ``REPRO_KERNEL_CACHE`` override)."""
+    from .engine._drain import _cache_dir
+    return _cache_dir()
+
+
+def gc_kernels(root: Optional[str] = None,
+               max_age_seconds: Optional[float] = None,
+               max_bytes: Optional[int] = None,
+               now: Optional[float] = None) -> GCStats:
+    """Apply the shared GC policy to the compiled-kernel cache.
+
+    Candidates are every regular file under the cache dir: the
+    published ``*.so`` kernels *and* any stray build leftovers (``.c``
+    sources, temp ``.so``) a crashed compile left behind.  Removing a
+    kernel is always safe — the next engine start just recompiles it.
+    """
+    if root is None:
+        root = kernel_cache_dir()
+    stats = GCStats()
+    if not os.path.isdir(root):
+        return stats
+    items: List[GCItem] = []
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            stat = os.stat(path)
+        except OSError:
+            continue
+        items.append(GCItem(path=path, bytes=stat.st_size,
+                            mtime=stat.st_mtime))
+    doomed = {item.path for item in gc_select(items, max_age_seconds,
+                                              max_bytes, now)}
+    for item in items:
+        if item.path in doomed:
+            try:
+                os.unlink(item.path)
+            except OSError:
+                continue
+            stats.removed += 1
+            stats.removed_bytes += item.bytes
+        else:
+            stats.kept += 1
+            stats.kept_bytes += item.bytes
+    return stats
+
+
 def gc_runs(root: str, max_age_seconds: Optional[float] = None,
             max_bytes: Optional[int] = None,
             now: Optional[float] = None) -> GCStats:
@@ -383,8 +444,42 @@ class ResultStore:
         return path
 
     # -- enumeration / maintenance -------------------------------------
+    def sweep_tmp(self, grace_seconds: float = TMP_SWEEP_GRACE_SECONDS,
+                  now: Optional[float] = None) -> int:
+        """Unlink temp files a crashed writer left in ``objects/``.
+
+        Only files older than ``grace_seconds`` go — a younger temp file
+        may belong to a writer that is mid-publish right now.  Returns
+        how many were removed.  Runs automatically whenever the store is
+        scanned (:meth:`entries`), so debris cannot accumulate.
+        """
+        if now is None:
+            now = time.time()
+        objects = os.path.join(self.root, _OBJECTS_DIR)
+        removed = 0
+        if not os.path.isdir(objects):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            for name in filenames:
+                if not _is_tmp_name(name):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if now - os.stat(path).st_mtime <= grace_seconds:
+                        continue
+                    os.unlink(path)
+                except OSError:
+                    continue
+                removed += 1
+        return removed
+
     def entries(self) -> List[EntryInfo]:
-        """Every published entry, sorted oldest-first (then by path)."""
+        """Every published entry, sorted oldest-first (then by path).
+
+        Scanning also sweeps stale writer temp files (see
+        :meth:`sweep_tmp`); a temp file is never itself an entry.
+        """
+        self.sweep_tmp()
         objects = os.path.join(self.root, _OBJECTS_DIR)
         found: List[EntryInfo] = []
         if not os.path.isdir(objects):

@@ -194,6 +194,83 @@ class TestGcRuns:
         assert stats.removed == 0 and stats.kept == 0
 
 
+class TestCrashedWriter:
+    """A writer that died mid-publish must never corrupt the store."""
+
+    @staticmethod
+    def _store_with_debris(tmp_path, age_seconds):
+        store = ResultStore(str(tmp_path / "store"))
+        key = entry_key({"family": "toy", "x": 1})
+        store.put(key, {"ok": True}, payload={"family": "toy"})
+        objects = os.path.join(store.root, "objects", key[:2])
+        debris = [os.path.join(objects, ".tmp-dead123.json"),
+                  os.path.join(objects, "half-written.tmp")]
+        for path in debris:
+            with open(path, "w") as handle:
+                handle.write('{"value": "torn')    # truncated JSON
+            past = os.stat(path).st_mtime - age_seconds
+            os.utime(path, (past, past))
+        return store, key, debris
+
+    def test_tmp_files_never_listed_as_entries(self, tmp_path):
+        store, key, _debris = self._store_with_debris(tmp_path, 0)
+        entries = store.entries()
+        assert [entry.key for entry in entries] == [key]
+
+    def test_stale_tmp_swept_on_scan(self, tmp_path):
+        store, key, debris = self._store_with_debris(tmp_path, 9000)
+        store.entries()
+        for path in debris:
+            assert not os.path.exists(path)
+        # The published entry survives and still loads.
+        found, value = store.load(key)
+        assert found and value == {"ok": True}
+
+    def test_fresh_tmp_kept_within_grace(self, tmp_path):
+        # A temp file younger than the grace window may belong to a
+        # live writer mid-publish; scanning must not race it.
+        store, _key, debris = self._store_with_debris(tmp_path, 0)
+        store.entries()
+        for path in debris:
+            assert os.path.exists(path)
+
+    def test_sweep_tmp_counts_removals(self, tmp_path):
+        store, _key, debris = self._store_with_debris(tmp_path, 9000)
+        assert store.sweep_tmp() == len(debris)
+        assert store.sweep_tmp() == 0
+
+
+class TestGcKernels:
+    def test_kernel_cache_shares_policy(self, tmp_path):
+        from repro.store import gc_kernels
+        kernels = tmp_path / "kernels"
+        kernels.mkdir()
+        (kernels / "old.so").write_bytes(b"x" * 10)
+        (kernels / "new.so").write_bytes(b"y" * 10)
+        (kernels / "stray.c").write_text("int x;")
+        (kernels / "subdir").mkdir()       # directories are left alone
+        past = os.stat(kernels / "old.so").st_mtime - 9000
+        for name in ("old.so", "stray.c"):
+            os.utime(kernels / name, (past, past))
+        stats = gc_kernels(str(kernels), max_age_seconds=3600)
+        assert stats.removed == 2 and stats.kept == 1
+        assert not (kernels / "old.so").exists()
+        assert not (kernels / "stray.c").exists()
+        assert (kernels / "new.so").exists()
+        assert (kernels / "subdir").exists()
+
+    def test_missing_cache_is_empty(self, tmp_path):
+        from repro.store import gc_kernels
+        stats = gc_kernels(str(tmp_path / "nope"), max_age_seconds=1)
+        assert stats.removed == 0 and stats.kept == 0
+
+    def test_default_root_is_the_drain_cache(self, tmp_path,
+                                             monkeypatch):
+        from repro.store import kernel_cache_dir
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "kc"))
+        assert kernel_cache_dir() == str(tmp_path / "kc")
+
+
 class TestRunSweepStore:
     CONFIG = "2x1x2"
 
