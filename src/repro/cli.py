@@ -13,6 +13,7 @@ simulation::
     python -m repro trace 2x1x2            # Perfetto trace + metrics bundle
     python -m repro stats 2x1x2            # Prometheus-style metrics dump
     python -m repro diff runs/a runs/b     # cross-run metric deltas / gate
+    python -m repro obs validate spec.yaml # schema-check an instrument spec
     python -m repro cache stats            # result-store contents / GC
     python -m repro farm run spec.json     # a fleet of runs over a host pool
     python -m repro farm status report/    # live fleet progress
@@ -34,10 +35,10 @@ from typing import Dict, List, Optional
 
 from . import Prototype, build, parse_config
 from .analysis import render_table
-from .cli_common import (archive_flags, emit, format_flags, jobs_flags,
-                         output_flags, parse_intervals, partitions_flags,
-                         sampling_flags, seed_flags, store_flags,
-                         write_archive)
+from .cli_common import (archive_flags, emit, format_flags,
+                         instrument_flags, jobs_flags, load_plane_arg,
+                         output_flags, partitions_flags, sampling_flags,
+                         seed_flags, store_flags, write_archive)
 from .cost import FIG13_TOOLS, benchmark_costs, suite_costs
 from .errors import ReproError
 from .fpga import (DRAM_INTERFACES_PER_FPGA, cheapest_instance_for, estimate,
@@ -87,6 +88,13 @@ def _sweep_point(task) -> Optional[List]:
 
 
 def cmd_sweep(args) -> int:
+    if getattr(args, "instrument", None):
+        # Parses for interface symmetry; sweep never simulates, so
+        # there is nothing for an instrumentation plane to observe.
+        raise ReproError(
+            "sweep estimates FPGA resource fit without simulating; "
+            "--instrument attaches an instrumentation plane to a "
+            "simulation — use it on `repro trace/stats/latency`")
     if args.partitions is not None:
         # The flag parses here for interface symmetry with latency, but
         # sweep only *estimates* resource fit — nothing simulates, so
@@ -115,6 +123,11 @@ def cmd_sweep(args) -> int:
 
 def cmd_latency(args) -> int:
     config = parse_config(args.config, seed=args.seed)
+    plane = load_plane_arg(args)
+    if plane is not None and not args.archive:
+        raise ReproError(
+            "latency --instrument measures through the observer; pass "
+            "--archive to persist what the plane collects")
     total = config.total_tiles
     tiles_per_node = config.tiles_per_node
     senders = list(range(0, total, max(1, total // 6)))
@@ -140,8 +153,11 @@ def cmd_latency(args) -> int:
             raise ReproError(
                 "latency --store memoizes sweep points; it does not "
                 "apply to --partitions")
-        proto = Prototype(config, partitions=partitions,
-                          obs_spec={} if args.archive else None)
+        obs_spec = None
+        if args.archive:
+            obs_spec = ({"plane": plane.to_dict()} if plane is not None
+                        else {})
+        proto = Prototype(config, partitions=partitions, obs_spec=obs_spec)
         try:
             for sender in senders:
                 for receiver in range(total):
@@ -169,7 +185,9 @@ def cmd_latency(args) -> int:
         store = ResultStore(args.store) if args.store else None
         with_metrics = bool(args.archive)
         rows = probe_rows(config, senders, jobs=args.jobs,
-                          with_metrics=with_metrics, store=store)
+                          with_metrics=with_metrics, store=store,
+                          obs_spec=({"plane": plane.to_dict()}
+                                    if plane is not None else None))
         if with_metrics:
             rows, metrics = rows
         if store is not None:
@@ -211,7 +229,8 @@ def cmd_latency(args) -> int:
                                   f"{args.config}"),
          what="latency table")
     if args.archive:
-        write_archive(args, config, metrics, wall_seconds=wall)
+        write_archive(args, config, metrics, wall_seconds=wall,
+                      plane=plane)
     return 0
 
 
@@ -236,19 +255,39 @@ def _drive_probes(proto) -> None:
 
 def cmd_trace(args) -> int:
     from .obs import (Observer, StreamingTracer, chrome_from_jsonl,
-                      validate_chrome_trace)
+                      probe_series_from_jsonl, validate_chrome_trace)
+    plane = load_plane_arg(args)
+    if plane is not None:
+        # The plane owns the selection knobs it declares; mixing the two
+        # vocabularies would make the recorded spec lie about the run.
+        if args.categories:
+            raise ReproError(
+                "trace --categories conflicts with --instrument; put "
+                "trace.categories in the spec instead")
+        if args.sample_intervals is not None:
+            raise ReproError(
+                "trace --sample-intervals conflicts with --instrument; "
+                "put sample_intervals in the spec instead")
+        if not plane.tracing:
+            raise ReproError(
+                "the instrumentation spec disables tracing; use "
+                "`repro stats --instrument` for a metrics-only run")
     categories = args.categories.split(",") if args.categories else None
-    intervals = parse_intervals(args.sample_intervals)
-    if args.stream:
-        tracer = StreamingTracer(args.out, categories=categories)
+    intervals = args.sample_intervals
+    stream = args.stream or (plane is not None and plane.stream_series)
+    if stream:
+        tracer = StreamingTracer(
+            args.out,
+            categories=(categories if plane is None
+                        else plane.trace_categories))
         obs = Observer(tracer=tracer,
                        sample_interval=args.sample_interval,
-                       sample_intervals=intervals)
+                       sample_intervals=intervals, plane=plane)
     else:
         obs = Observer(categories=categories,
                        ring_capacity=args.ring_capacity or None,
                        sample_interval=args.sample_interval,
-                       sample_intervals=intervals)
+                       sample_intervals=intervals, plane=plane)
     config = parse_config(args.config, seed=args.seed)
     start = time.perf_counter()
     proto = Prototype(config, obs=obs)
@@ -256,23 +295,28 @@ def cmd_trace(args) -> int:
     wall = time.perf_counter() - start
     event_count = obs.tracer.event_count()
     obs.close()
-    if args.stream:
+    if stream:
         validate_chrome_trace(chrome_from_jsonl(args.out))
     else:
         obs.tracer.write(args.out)
         validate_chrome_trace(args.out)
     metrics = obs.export_metrics()
+    series = obs.probes.series()
+    if plane is not None and plane.stream_series:
+        # Streamed probe series never materialized in memory; the
+        # bundle and archive rebuild them from the JSONL counter track.
+        series = probe_series_from_jsonl(args.out)
     bundle = {"config": args.config,
               "cycles": proto.now,
               "metrics": metrics,
-              "series": obs.probes.series()}
+              "series": series}
     with open(args.metrics, "w") as handle:
         json.dump(bundle, handle, indent=2, sort_keys=True)
     if args.archive:
         write_archive(args, config, metrics, cycles=proto.now,
                       events_executed=proto.sim.events_executed,
-                      wall_seconds=wall, series=obs.probes.series())
-    kind = "streamed" if args.stream else "wrote"
+                      wall_seconds=wall, series=series, plane=plane)
+    kind = "streamed" if stream else "wrote"
     print(f"{kind} {event_count} trace events to {args.out} "
           f"(open in https://ui.perfetto.dev)")
     print(f"wrote metrics bundle to {args.metrics} "
@@ -283,19 +327,27 @@ def cmd_trace(args) -> int:
 
 def cmd_stats(args) -> int:
     from .obs import Observer
-    intervals = parse_intervals(args.sample_intervals)
+    plane = load_plane_arg(args)
+    if plane is not None and args.sample_intervals is not None:
+        raise ReproError(
+            "stats --sample-intervals conflicts with --instrument; put "
+            "sample_intervals in the spec instead")
+    intervals = args.sample_intervals
     config = parse_config(args.config, seed=args.seed)
     start = time.perf_counter()
     sweep_hash = None
     if args.jobs is not None:
         # Sharded sweep through the unified engine: per-worker observers,
         # shard dicts merged exactly (byte-identical at any worker
-        # count); --store memoizes every shard.
+        # count); --store memoizes every shard.  The plane travels in the
+        # obs_spec, so it is part of every store key by construction.
         from .parallel import latency_matrix_spec, run_sweep
         store = ResultStore(args.store) if args.store else None
-        spec = latency_matrix_spec(
-            config, obs_spec={"sample_interval": args.sample_interval,
-                              "sample_intervals": intervals})
+        obs_spec = {"sample_interval": args.sample_interval,
+                    "sample_intervals": intervals}
+        if plane is not None:
+            obs_spec["plane"] = plane.to_dict()
+        spec = latency_matrix_spec(config, obs_spec=obs_spec)
         result = run_sweep(spec, jobs=args.jobs, store=store)
         metrics = dict(result.value["metrics"])
         if store is not None:
@@ -308,7 +360,7 @@ def cmd_stats(args) -> int:
             raise ReproError(
                 "stats --store requires the sharded sweep; pass --jobs")
         obs = Observer(tracing=False, sample_interval=args.sample_interval,
-                       sample_intervals=intervals)
+                       sample_intervals=intervals, plane=plane)
         proto = Prototype(config, obs=obs)
         _drive_probes(proto)
         metrics = obs.export_metrics()
@@ -324,7 +376,7 @@ def cmd_stats(args) -> int:
     if args.archive:
         write_archive(args, config, metrics, cycles=cycles,
                       events_executed=events, wall_seconds=wall,
-                      series=series, config_hash=sweep_hash)
+                      series=series, config_hash=sweep_hash, plane=plane)
     return 0
 
 
@@ -360,6 +412,16 @@ def cmd_diff(args) -> int:
     else:
         if args.run_a is None or args.run_b is None:
             raise ReproError("diff needs two runs (or --gate BASELINE RUN)")
+        hash_a = diff_mod.instrumentation_hash_of(args.run_a)
+        hash_b = diff_mod.instrumentation_hash_of(args.run_b)
+        if hash_a != hash_b and not args.ignore_instrumentation:
+            # Different planes select, sample, and gate metrics
+            # differently — their deltas are plane noise, not regressions.
+            raise ReproError(
+                f"diff: runs were instrumented differently "
+                f"(plane {hash_a or 'none'} vs {hash_b or 'none'}); "
+                f"re-run under one spec, or pass "
+                f"--ignore-instrumentation to compare anyway")
         metrics_a = diff_mod.load_metrics(args.run_a)
         metrics_b = diff_mod.load_metrics(args.run_b)
     for text in args.rule:
@@ -379,6 +441,41 @@ def cmd_diff(args) -> int:
         print(f"error: {len(bad)} metric(s) outside tolerance",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_obs_validate(args) -> int:
+    """Schema-check an instrumentation spec offline and show what it
+    resolves to — optionally against a config, listing the concrete
+    metrics the globs select."""
+    from .obs import Observer
+    from .obs.plane import load_plane
+    plane = load_plane(args.spec)
+    selected = None
+    if args.config:
+        config = parse_config(args.config)
+        obs = Observer(tracing=False, plane=plane)
+        proto = Prototype(config, obs=obs)
+        selected = sorted(name for name in obs.export_metrics()
+                          if not name.startswith("obs."))
+        del proto
+    if args.format == "json":
+        payload = {"spec": plane.to_dict(), "hash": plane.spec_hash,
+                   "triggers": [t.describe() for t in plane.triggers]}
+        if selected is not None:
+            payload["selected_metrics"] = selected
+        emit(args, json.dumps(payload, indent=2, sort_keys=True),
+             what="plane summary")
+        return 0
+    rows = plane.describe_rows()
+    if selected is not None:
+        rows.append(["selected metrics", str(len(selected))])
+    text = render_table(["property", "value"], rows,
+                        title=f"instrumentation plane {args.spec} "
+                              f"(hash {plane.spec_hash})")
+    if selected is not None:
+        text += "\n" + "\n".join(f"  {name}" for name in selected)
+    emit(args, text, what="plane summary")
     return 0
 
 
@@ -569,6 +666,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep", help="every BxC configuration that fits one FPGA",
         parents=[jobs_flags(default=1),
                  partitions_flags(env_default=False),
+                 instrument_flags(),
                  output_flags("write the table to PATH instead of "
                               "stdout")])
     sweep.add_argument("--core", default="ariane")
@@ -581,7 +679,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "engine (0 = one per CPU; omit for the "
                                  "legacy in-place scan)"),
                  partitions_flags(), seed_flags(), output_flags(),
-                 archive_flags(), store_flags()])
+                 archive_flags(), store_flags(), instrument_flags()])
     latency.add_argument("config")
     latency.set_defaults(func=cmd_latency)
 
@@ -597,7 +695,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace = subparsers.add_parser(
         "trace", help="run traced latency probes; emit a Perfetto-loadable "
                       "Chrome trace plus a metrics bundle",
-        parents=[seed_flags(), archive_flags(), sampling_flags()])
+        parents=[seed_flags(), archive_flags(), sampling_flags(),
+                 instrument_flags()])
     trace.add_argument("config", nargs="?", default="2x1x2")
     trace.add_argument("--out", "--output", dest="out",
                        default="trace.json",
@@ -622,6 +721,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats", help="run latency probes with metrics only; print the "
                       "registry as Prometheus text or JSON",
         parents=[seed_flags(), archive_flags(), sampling_flags(),
+                 instrument_flags(),
                  format_flags(choices=("prom", "json"), default="prom"),
                  output_flags("write the dump to PATH instead of stdout"),
                  jobs_flags(default=None,
@@ -659,7 +759,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "last match wins; DIR is both/lower/upper)")
     diff.add_argument("--only-violations", action="store_true",
                       help="print only metrics outside tolerance")
+    diff.add_argument("--ignore-instrumentation", action="store_true",
+                      help="compare runs even when their recorded "
+                           "instrumentation planes differ")
     diff.set_defaults(func=cmd_diff)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect observability configuration")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_validate = obs_sub.add_parser(
+        "validate", help="schema-check an instrumentation spec offline "
+                         "and print what it resolves to",
+        parents=[format_flags(), output_flags()])
+    obs_validate.add_argument("spec", help="instrumentation spec file "
+                                           "(.yaml/.json)")
+    obs_validate.add_argument("--config", default=None, metavar="AxBxC",
+                              help="also build this configuration and "
+                                   "list the concrete metrics the "
+                                   "spec's globs select")
+    obs_validate.set_defaults(func=cmd_obs_validate)
 
     cache = subparsers.add_parser(
         "cache", help="inspect and maintain the persistent result store")

@@ -65,7 +65,7 @@ def default_partitions() -> Optional[int]:
 
 
 def parse_intervals(text: Optional[str]) -> Optional[Dict[str, int]]:
-    """``"noc=64,mem=256"`` → per-category probe intervals."""
+    """``"noc=64,mem=256"`` → per-category probe intervals (each >= 1)."""
     if not text:
         return None
     intervals: Dict[str, int] = {}
@@ -73,14 +73,42 @@ def parse_intervals(text: Optional[str]) -> Optional[Dict[str, int]]:
         category, _, value = part.partition("=")
         if not category or not value:
             raise ReproError(
-                f"--sample-intervals expects CAT=CYCLES[,CAT=CYCLES], "
-                f"got {part!r}")
+                f"expects CAT=CYCLES[,CAT=CYCLES], got {part!r}")
         try:
-            intervals[category.strip()] = int(value)
+            cycles = int(value)
         except ValueError:
             raise ReproError(
-                f"--sample-intervals: {value!r} is not an integer")
+                f"{value!r} is not an integer (in {part!r})")
+        if cycles < 1:
+            raise ReproError(
+                f"interval for {category.strip()!r} must be >= 1, "
+                f"got {cycles}")
+        intervals[category.strip()] = cycles
     return intervals
+
+
+def probe_interval(value: str) -> int:
+    """argparse type for ``--sample-interval``: an integer >= 1."""
+    try:
+        cycles = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer, got {value!r}")
+    if cycles < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 cycle, got {cycles}")
+    return cycles
+
+
+def probe_intervals(text: str) -> Dict[str, int]:
+    """argparse type for ``--sample-intervals``: CAT=CYCLES pairs, each
+    interval a positive integer — rejected at parse time with a clear
+    argparse error instead of surfacing later as a simulation crash."""
+    try:
+        parsed = parse_intervals(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return parsed or {}
 
 
 # ----------------------------------------------------------------------
@@ -116,15 +144,40 @@ def archive_flags() -> argparse.ArgumentParser:
 
 def sampling_flags(default_interval: int = 1000) -> argparse.ArgumentParser:
     parent = _parent()
-    parent.add_argument("--sample-interval", type=int,
+    parent.add_argument("--sample-interval", type=probe_interval,
                         default=default_interval, metavar="CYCLES",
-                        help="probe sampling interval in cycles")
-    parent.add_argument("--sample-intervals", default=None,
-                        metavar="CAT=CYCLES,..",
+                        help="probe sampling interval in cycles (>= 1)")
+    parent.add_argument("--sample-intervals", type=probe_intervals,
+                        default=None, metavar="CAT=CYCLES,..",
                         help="per-category probe intervals, e.g. "
                              "noc=64,mem=256 (others use "
                              "--sample-interval)")
     return parent
+
+
+def instrument_flags() -> argparse.ArgumentParser:
+    """``--instrument SPEC``: a declarative instrumentation plane.
+
+    The spec (YAML or JSON; see ``examples/instrument_fig7.yaml``)
+    selects metrics by glob, sets per-category probe intervals, picks
+    trace categories, and declares triggers — explicit CLI flags still
+    win where both speak (``repro obs validate`` checks a spec offline).
+    """
+    parent = _parent()
+    parent.add_argument("--instrument", default=None, metavar="SPEC",
+                        help="instrumentation-plane spec file "
+                             "(.yaml/.json): metric globs, probe "
+                             "intervals, trace categories, triggers")
+    return parent
+
+
+def load_plane_arg(args):
+    """The ``--instrument`` plane, loaded and validated (None if absent)."""
+    path = getattr(args, "instrument", None)
+    if not path:
+        return None
+    from .obs.plane import load_plane
+    return load_plane(path)
 
 
 def jobs_flags(default: Optional[int] = 1,
@@ -202,15 +255,23 @@ def command_line() -> Optional[list]:
 
 def write_archive(args, config, metrics, *, cycles=None,
                   events_executed=None, wall_seconds=None,
-                  series=None, config_hash=None) -> None:
+                  series=None, config_hash=None, plane=None) -> None:
     """Persist ``--archive`` for any measuring subcommand.
 
     ``config_hash`` takes a sweep's precomputed hash so manifest and
-    store keys agree by construction.
+    store keys agree by construction.  ``plane`` is the run's
+    instrumentation plane; its canonical spec and content hash land in
+    the manifest so ``repro diff`` can refuse cross-plane comparisons.
     """
     from .obs import RunArchive
+    instrumentation = instrumentation_hash = None
+    if plane is not None:
+        instrumentation = plane.to_dict()
+        instrumentation_hash = plane.spec_hash
     archive = RunArchive.write(
         args.archive, metrics, config=config, cycles=cycles,
         events_executed=events_executed, wall_seconds=wall_seconds,
-        series=series, config_hash=config_hash, command=command_line())
+        series=series, config_hash=config_hash, command=command_line(),
+        instrumentation=instrumentation,
+        instrumentation_hash=instrumentation_hash)
     print(f"archived run {archive.run_id} under {archive.path}")

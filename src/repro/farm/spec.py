@@ -34,7 +34,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import FarmError
+from ..errors import FarmError, ReproError
 
 #: Environment variable the benchmarks check to run their sweeps as farm
 #: suites: ``REPRO_FARM=2x2`` means 2 local hosts with 2 slots each,
@@ -82,6 +82,7 @@ class JobSpec:
     slots: int = 1
     family: Optional[str] = None
     index: Optional[int] = None
+    instrumentation: Optional[str] = None   # plane spec hash, if any
     inject_fail: int = 0
     inject_crash: int = 0
     inject_hang: int = 0
@@ -95,7 +96,8 @@ class JobSpec:
     def describe(self) -> Dict[str, object]:
         """The job's JSON-able identity for the report manifest."""
         return {"job_id": self.job_id, "family": self.family,
-                "index": self.index, "slots": self.slots}
+                "index": self.index, "slots": self.slots,
+                "instrumentation": self.instrumentation}
 
 
 @dataclass(frozen=True)
@@ -183,13 +185,45 @@ def farm_from_env(var: str = FARM_ENV) -> Optional[FarmSpec]:
 
 @dataclass
 class FileSpec:
-    """A parsed spec file: the pool, the fleet, and the run options."""
+    """A parsed spec file: the pool, the fleet, and the run options.
+
+    ``instrumentation`` is the resolved canonical plane dict the spec's
+    top-level ``instrumentation`` key declared (a spec-file path or an
+    inline mapping) — applied to every suite without its own ``obs``
+    key and every partition-latency job.
+    """
 
     farm: FarmSpec
     jobs: List[JobSpec]
     suites: List["SuitePlan"]
     store: Optional[str] = None
     report: Optional[str] = None
+    instrumentation: Optional[dict] = None
+
+
+def _resolve_instrumentation(value, base_dir: str) -> Optional[dict]:
+    """The spec's ``instrumentation`` key → a canonical plane dict.
+
+    A string is a plane spec file, resolved relative to the farm spec's
+    own directory; a mapping is an inline plane spec.
+    """
+    if value is None:
+        return None
+    from ..obs.plane import as_plane, load_plane
+    try:
+        if isinstance(value, str):
+            spec_path = (value if os.path.isabs(value)
+                         else os.path.join(base_dir, value))
+            return load_plane(spec_path).to_dict()
+        if isinstance(value, dict):
+            return as_plane(value).to_dict()
+    except FarmError:
+        raise
+    except ReproError as error:
+        raise FarmError(f"farm: bad instrumentation spec ({error})")
+    raise FarmError(
+        f"farm: instrumentation must be a plane spec-file path or a "
+        f"mapping, got {type(value).__name__}")
 
 
 def _load_spec_data(path: str) -> dict:
@@ -225,6 +259,7 @@ def load_spec_file(path: str) -> FileSpec:
     known = {"hosts", "max_retries", "backoff_base", "backoff_cap",
              "heartbeat_interval", "heartbeat_timeout", "store",
              "report", "suites", "jobs", "fault_injection",
+             "instrumentation",
              "_comment"}   # JSON has no comments; allow the idiom
     unknown = set(data) - known
     if unknown:
@@ -243,14 +278,19 @@ def load_spec_file(path: str) -> FileSpec:
     farm = FarmSpec(hosts=hosts, **policy)
 
     store_root = data.get("store") or None
+    instrumentation = _resolve_instrumentation(
+        data.get("instrumentation"),
+        os.path.dirname(os.path.abspath(path)))
     suites: List["SuitePlan"] = []
     jobs: List[JobSpec] = []
     for entry in data.get("suites") or []:
-        plan = build_suite_plan(entry, store_root=store_root)
+        plan = build_suite_plan(entry, store_root=store_root,
+                                instrumentation=instrumentation)
         suites.append(plan)
         jobs.extend(plan.jobs)
     for entry in data.get("jobs") or []:
-        jobs.append(build_adhoc_job(entry))
+        jobs.append(build_adhoc_job(entry,
+                                    instrumentation=instrumentation))
     if not jobs:
         raise FarmError(f"farm: spec {path} declares no suites or jobs")
     job_ids = [job.job_id for job in jobs]
@@ -259,7 +299,8 @@ def load_spec_file(path: str) -> FileSpec:
                         f"{sorted(set(j for j in job_ids if job_ids.count(j) > 1))}")
     jobs = apply_fault_injection(jobs, data.get("fault_injection") or {})
     return FileSpec(farm=farm, jobs=jobs, suites=suites,
-                    store=store_root, report=data.get("report") or None)
+                    store=store_root, report=data.get("report") or None,
+                    instrumentation=instrumentation)
 
 
 def apply_fault_injection(jobs: Sequence[JobSpec],

@@ -44,15 +44,27 @@ class SuitePlan:
     store_root: Optional[str] = None
 
 
+def _plane_hash(obs_spec) -> Optional[str]:
+    """The instrumentation-plane hash buried in an obs_spec, if any."""
+    if not isinstance(obs_spec, dict):
+        return None
+    plane = obs_spec.get("plane")
+    if plane is None:
+        return None
+    from ..obs.plane import as_plane
+    return as_plane(plane).spec_hash
+
+
 def plan_sweep(spec: SweepSpec, store_root: Optional[str] = None,
                suite_id: Optional[str] = None,
                slots: int = 1) -> SuitePlan:
     """Expand a sweep into farm jobs (one per point, in point order)."""
     suite_id = suite_id or spec.family
     cfg_hash, tasks = sweep_tasks(spec, store_root=store_root)
+    inst_hash = _plane_hash(spec.obs_spec)
     jobs = [JobSpec(job_id=f"{suite_id}/{index}", fn=sweep_point_task,
                     payload=task, slots=slots, family=spec.family,
-                    index=index)
+                    index=index, instrumentation=inst_hash)
             for index, task in enumerate(tasks)]
     return SuitePlan(suite_id=suite_id, spec=spec, config_hash=cfg_hash,
                      jobs=jobs, store_root=store_root)
@@ -154,7 +166,8 @@ def run_file_spec(filespec, report_dir: Optional[str] = None,
 # Spec-file suite entries ({"suite": "fig8", "config": "4x1x12", ...})
 # ----------------------------------------------------------------------
 
-def _suite_sweep_spec(entry: dict) -> SweepSpec:
+def _suite_sweep_spec(entry: dict,
+                      instrumentation: Optional[dict] = None) -> SweepSpec:
     from ..core.config import parse_config
     from ..parallel import fig8_spec, fig9_spec, latency_matrix_spec
 
@@ -166,6 +179,10 @@ def _suite_sweep_spec(entry: dict) -> SweepSpec:
     if obs_spec is not None and not isinstance(obs_spec, dict):
         raise FarmError(f"farm: suite {name!r} obs must be a mapping "
                         f"or null, got {type(obs_spec).__name__}")
+    if instrumentation is not None and "obs" not in entry:
+        # The spec-file's top-level plane instruments every suite that
+        # does not pin its own obs settings (an explicit 'obs' wins).
+        obs_spec = {"plane": instrumentation}
     if name == "fig8":
         thread_counts = tuple(
             int(t) for t in entry.get("thread_counts",
@@ -183,12 +200,13 @@ def _suite_sweep_spec(entry: dict) -> SweepSpec:
 
 
 def build_suite_plan(entry: dict,
-                     store_root: Optional[str] = None) -> SuitePlan:
+                     store_root: Optional[str] = None,
+                     instrumentation: Optional[dict] = None) -> SuitePlan:
     """A spec-file ``suites`` entry, planned into jobs."""
     if not isinstance(entry, dict) or "suite" not in entry:
         raise FarmError(
             f"farm: every suites entry needs a 'suite' key, got {entry!r}")
-    spec = _suite_sweep_spec(entry)
+    spec = _suite_sweep_spec(entry, instrumentation=instrumentation)
     suite_id = str(entry.get("id", entry["suite"]))
     return plan_sweep(spec, store_root=store_root, suite_id=suite_id,
                       slots=int(entry.get("slots", 1)))
@@ -209,8 +227,9 @@ def partition_latency_job(payload: dict) -> dict:
 
     config = parse_config(payload["config"],
                           seed=int(payload.get("seed", 0)))
+    plane = payload.get("instrument")
     proto = Prototype(config, partitions=int(payload["partitions"]),
-                      obs_spec={})
+                      obs_spec={"plane": plane} if plane else {})
     try:
         total = config.total_tiles
         latencies = [proto.measure_pair_latency(0, receiver)
@@ -243,7 +262,8 @@ def cloud_load_job(payload: dict) -> dict:
             "metrics": {"obs.cloud.requests": requests}}
 
 
-def build_adhoc_job(entry: dict) -> JobSpec:
+def build_adhoc_job(entry: dict,
+                    instrumentation: Optional[dict] = None) -> JobSpec:
     """A spec-file ``jobs`` entry (non-sweep work) as one JobSpec."""
     if not isinstance(entry, dict) or "kind" not in entry:
         raise FarmError(
@@ -268,9 +288,12 @@ def build_adhoc_job(entry: dict) -> JobSpec:
             job_id=job_id, fn=partition_latency_job,
             payload={"config": config_label,
                      "seed": int(entry.get("seed", 0)),
-                     "partitions": partitions},
+                     "partitions": partitions,
+                     "instrument": instrumentation},
             slots=int(entry.get("slots", partitions)),
-            family="partition")
+            family="partition",
+            instrumentation=_plane_hash({"plane": instrumentation}
+                                        if instrumentation else None))
     if kind == "cloud":
         job_id = str(entry.get("id", f"cloud/{entry.get('path', '/data')}"
                                .replace("//", "/")))

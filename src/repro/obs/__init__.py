@@ -27,6 +27,11 @@ introspection layer over the simulated fabric:
   series) with exact shard merging for parallel sweeps.
 * :mod:`repro.obs.diff` — the cross-run diff/regression engine behind
   ``repro diff`` and the CI gate (``repro diff --gate``).
+* :class:`InstrumentationPlane` (:mod:`repro.obs.plane`) — a declarative
+  YAML/JSON instrumentation spec (metric globs, per-category probe
+  intervals, trace categories, cycle/event/metric triggers, streamed
+  probe series) compiled onto the observer path; ``repro --instrument
+  spec.yaml`` and the farm/partition layers all load the same plane.
 
 Observers never mutate model state and never schedule events (sampling
 piggybacks on instrumented activity), so enabling observability cannot
@@ -34,15 +39,19 @@ change any architectural result bit — asserted by tests/test_obs.py.
 """
 
 from .archive import RunArchive, config_hash, merge_metric_shards
-from .diff import (Rule, diff_metrics, gate_rules, load_metrics,
-                   render_diff, violations)
+from .diff import (Rule, diff_metrics, gate_rules, instrumentation_hash_of,
+                   load_metrics, render_diff, violations)
 from .observer import Observer, TRACE_CATEGORIES
+from .plane import (GatedTracer, InstrumentationPlane, Trigger, as_plane,
+                    load_plane)
 from .probes import ProbeSet, link_utilization_probe
 from .registry import MetricRegistry
 from .trace import (StreamingTracer, Tracer, chrome_from_jsonl,
-                    validate_chrome_trace)
+                    probe_series_from_jsonl, validate_chrome_trace)
 
 __all__ = [
+    "GatedTracer",
+    "InstrumentationPlane",
     "MetricRegistry",
     "Observer",
     "ProbeSet",
@@ -51,13 +60,18 @@ __all__ = [
     "StreamingTracer",
     "TRACE_CATEGORIES",
     "Tracer",
+    "Trigger",
+    "as_plane",
     "chrome_from_jsonl",
     "config_hash",
     "diff_metrics",
     "gate_rules",
+    "instrumentation_hash_of",
     "link_utilization_probe",
     "load_metrics",
+    "load_plane",
     "merge_metric_shards",
+    "probe_series_from_jsonl",
     "render_diff",
     "validate_chrome_trace",
     "violations",

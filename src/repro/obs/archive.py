@@ -176,6 +176,8 @@ class RunArchive:
               command: Optional[Sequence[str]] = None,
               series: Optional[Dict[str, list]] = None,
               config_hash: Optional[str] = None,
+              instrumentation: Optional[Dict[str, object]] = None,
+              instrumentation_hash: Optional[str] = None,
               extra: Optional[Dict[str, object]] = None) -> "RunArchive":
         """Persist a run under ``path`` (the run directory itself).
 
@@ -184,9 +186,19 @@ class RunArchive:
         Sweeps that already hold a precomputed hash (``SweepResult.
         config_hash``) pass it as ``config_hash`` so the manifest can
         never disagree with the run's store keys.
+
+        ``instrumentation`` is the run's resolved instrumentation-plane
+        spec (canonical dict) and ``instrumentation_hash`` its content
+        hash — recorded so ``repro diff`` can refuse to compare runs
+        whose metric selection or triggers differ.  Both stay None for
+        uninstrumented runs.
         """
         path = str(path)
         os.makedirs(path, exist_ok=True)
+        if instrumentation is not None and instrumentation_hash is None:
+            from .plane import InstrumentationPlane
+            instrumentation_hash = InstrumentationPlane.from_dict(
+                instrumentation).spec_hash
         manifest: Dict[str, object] = {
             "schema_version": SCHEMA_VERSION,
             "run_id": os.path.basename(os.path.normpath(path)),
@@ -200,6 +212,8 @@ class RunArchive:
             "wall_seconds": (None if wall_seconds is None
                              else round(wall_seconds, 6)),
             "command": list(command) if command is not None else None,
+            "instrumentation": instrumentation,
+            "instrumentation_hash": instrumentation_hash,
         }
         if config_hash is not None:
             manifest["config_hash"] = config_hash

@@ -205,6 +205,21 @@ def load_metrics(path: str) -> Dict[str, object]:
     return data
 
 
+def instrumentation_hash_of(path: str) -> Optional[str]:
+    """The recorded instrumentation-plane hash of a metric dump.
+
+    Only run archives carry one (in their manifest); flat JSON dumps and
+    bundles return None, as do archives written before the manifest
+    gained the field.  ``repro diff`` refuses to compare two archives
+    whose hashes differ — runs instrumented differently sample, select,
+    and gate their metrics differently, so their deltas are noise.
+    """
+    if not RunArchive.is_archive(path):
+        return None
+    value = RunArchive.load(path).manifest.get("instrumentation_hash")
+    return value if isinstance(value, str) else None
+
+
 def parse_rule(text: str) -> Rule:
     """``PATTERN[:REL[:ABS[:DIRECTION]]]`` → :class:`Rule` (CLI ``--rule``)."""
     parts = text.split(":")

@@ -107,6 +107,16 @@ class Observer(NullObserver):
     ``tracing=False``).  ``sample_intervals`` sets per-category probe
     sampling intervals (``{"noc": 64, "mem": 256}``); categories not
     listed use ``sample_interval``.
+
+    ``plane`` applies a declarative
+    :class:`~repro.obs.plane.InstrumentationPlane` (or its spec dict):
+    it fills every setting the caller left at its default (explicit
+    keyword arguments win), prunes metric/probe registration to the
+    plane's glob selection, wraps the tracer in a
+    :class:`~repro.obs.plane.GatedTracer` when triggers are declared,
+    and — with ``stream_series`` — stops materializing probe series in
+    memory (they then live in the tracer's JSONL stream).  ``plane=None``
+    leaves every code path exactly as before.
     """
 
     enabled = True
@@ -116,14 +126,36 @@ class Observer(NullObserver):
                  sample_interval: int = 1000,
                  sample_intervals: Optional[dict] = None,
                  tracing: bool = True,
-                 tracer=None) -> None:
+                 tracer=None,
+                 plane=None) -> None:
+        from .plane import GatedTracer, as_plane
+        plane = as_plane(plane)
+        self.plane = plane
+        if plane is not None:
+            if categories is None:
+                categories = plane.trace_categories
+            if ring_capacity == 65536:
+                ring_capacity = plane.ring_capacity
+            if sample_interval == 1000:
+                sample_interval = plane.sample_interval
+            if sample_intervals is None and plane.sample_intervals:
+                sample_intervals = dict(plane.sample_intervals)
+            tracing = tracing and plane.tracing
+        self._select = plane.metric_filter() if plane is not None else None
         self.registry = MetricRegistry()
         if tracer is None and tracing:
             tracer = Tracer(categories=categories,
                             ring_capacity=ring_capacity)
+        if tracer is not None and plane is not None and plane.gated:
+            tracer = GatedTracer(tracer, plane)
         self.tracer = tracer
-        self.probes = ProbeSet(tracer=self.tracer, interval=sample_interval,
-                               intervals=sample_intervals)
+        materialize = not (plane is not None and plane.stream_series)
+        self.probes = ProbeSet(
+            tracer=self.tracer, interval=sample_interval,
+            intervals=sample_intervals,
+            by_owner=plane is not None and plane.sampling == "component",
+            materialize=materialize,
+            on_sample=self._metric_trigger_check(plane, tracer))
         tracing = tracer is not None
         self._want_noc = tracing and tracer.wants("noc")
         self._want_cache = tracing and tracer.wants("cache")
@@ -134,16 +166,49 @@ class Observer(NullObserver):
         self._want_link = tracing and tracer.wants("link")
         self._want_kernel = tracing and tracer.wants("kernel")
 
+    def _metric_trigger_check(self, plane, tracer):
+        """The probe-cadence callback arming metric-threshold triggers.
+
+        Returns None (no per-sample cost at all) unless the plane
+        declares ``arm_on_metric`` triggers; the check then reads the
+        named metrics from the registry at every probe sample until the
+        trigger fires, and unhooks itself afterwards.
+        """
+        if plane is None or tracer is None or not plane.metric_triggers:
+            return None
+        pending = list(plane.metric_triggers)
+        registry = self.registry
+
+        def check(now: int) -> None:
+            for trigger in list(pending):
+                value = registry.value(trigger.metric)
+                if value is not None and value >= trigger.above:
+                    pending.remove(trigger)
+                    tracer.open_at(now)
+            if not pending:
+                self.probes._on_sample = None
+
+        return check
+
     # ------------------------------------------------------------------
     # Construction-time registration
     # ------------------------------------------------------------------
     def register_gauge(self, name, fn, category="gauge"):
         path = metric_path(name)
+        if self._select is not None and not self._select(path):
+            return
         self.registry.gauge(path, fn)
-        self.probes.add(path, fn, category=category)
+        # The owning component's name is the gauge name minus its final
+        # ``.suffix`` segment — the key the component's hooks nudge with
+        # in owner-mode sampling.
+        self.probes.add(path, fn, category=category,
+                        owner=name.rsplit(".", 1)[0])
 
     def register_link(self, link):
         path = metric_path(link.name)
+        if self._select is not None \
+                and not self._select(f"{path}.utilization"):
+            return
         # Lifetime average occupancy for the metrics dump...
         stats, cpu = link.stats, link.cycles_per_unit
 
@@ -157,7 +222,7 @@ class Observer(NullObserver):
         # ...and a windowed series for the heatmap/time-series charts,
         # sampled on the link's own category interval (noc/axi/pcie).
         self.probes.add(f"{path}.utilization", link_utilization_probe(link),
-                        category=link.category)
+                        category=link.category, owner=link.name)
 
     def bind_stats(self, prefix, group):
         self.registry.bind_group(metric_path(prefix), group)
@@ -171,21 +236,48 @@ class Observer(NullObserver):
     # Export / lifecycle
     # ------------------------------------------------------------------
     def export_metrics(self):
-        """The registry dump plus the tracer's drop accounting.
+        """The registry dump plus the obs layer's own accounting.
 
         This is what run archives persist and sweep workers return:
         :meth:`MetricRegistry.to_dict` extended with ``obs.trace.dropped``
         (total ring evictions) and one ``obs.trace.dropped.<component>``
         counter per truncated ring, so a partial trace is visible in the
-        archive instead of silently passing for a complete one.
+        archive instead of silently passing for a complete one; plus
+        ``obs.probes.failed`` (sources disabled after raising) and — for
+        planes with triggers — ``obs.plane.triggers.armed`` /
+        ``obs.plane.triggers.fired`` and ``obs.plane.trace.suppressed``.
+
+        A plane's metric globs filter the registry dump here too, so the
+        archive records exactly the selection (``obs.*`` accounting is
+        always kept).  Trigger counters are exported as floats on
+        purpose: per-shard values are identical for cycle triggers, so
+        :func:`~repro.obs.archive.merge_metric_shards`'s float-mean
+        preserves them across partitions, while the suppressed-event
+        count is an int (events partition across shards, so the sum is
+        exact).
         """
         out = self.registry.to_dict()
+        select = self._select
+        if select is not None:
+            out = {name: value for name, value in out.items()
+                   if name.startswith("obs.") or select(name)}
+        out["obs.probes.failed"] = self.probes.failed
         tracer = self.tracer
         if tracer is not None:
             out["obs.trace.dropped"] = tracer.dropped
             for component, count in sorted(
                     tracer.dropped_by_component().items()):
                 out[f"obs.trace.dropped.{metric_path(component)}"] = count
+        plane = self.plane
+        if plane is not None and plane.gated:
+            gate = tracer
+            out["obs.plane.triggers.armed"] = (
+                float(gate.armed) if gate is not None
+                else float(len(plane.triggers)))
+            out["obs.plane.triggers.fired"] = (
+                float(gate.fired) if gate is not None else 0.0)
+            if gate is not None:
+                out["obs.plane.trace.suppressed"] = gate.suppressed
         return out
 
     def flush(self):
@@ -201,7 +293,7 @@ class Observer(NullObserver):
     # Event hooks
     # ------------------------------------------------------------------
     def link_transfer(self, link, units, depart, arrival):
-        self.probes.maybe_sample(link.sim.now)
+        self.probes.nudge(link.name, link.sim.now)
         if self._want_link or (self._want_axi and link.category == "axi") \
                 or (self._want_pcie and link.category == "pcie") \
                 or (self._want_noc and link.category == "noc"):
@@ -218,7 +310,7 @@ class Observer(NullObserver):
 
     def noc_hop(self, router, packet, from_direction):
         now = router.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(router.name, now)
         if self._want_noc:
             self.tracer.instant("noc", router.name, "hop", now,
                                 {"from": from_direction.value,
@@ -226,7 +318,7 @@ class Observer(NullObserver):
 
     def noc_eject(self, router, packet):
         now = router.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(router.name, now)
         if self._want_noc:
             born = packet.created_at
             self.tracer.complete(
@@ -248,7 +340,7 @@ class Observer(NullObserver):
 
     def cache_op(self, cache, op):
         now = cache.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(cache.name, now)
         if self._want_cache:
             self.tracer.complete("cache", cache.name, op.kind.name.lower(),
                                  op.issued_at, now - op.issued_at,
@@ -261,14 +353,14 @@ class Observer(NullObserver):
 
     def llc_txn(self, llc, line, started_at):
         now = llc.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(llc.name, now)
         if self._want_cache:
             self.tracer.complete("cache", llc.name, "txn", started_at,
                                  now - started_at, {"line": f"{line:#x}"})
 
     def axi_txn(self, port, kind, txn):
         now = port.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(port.name, now)
         if self._want_axi:
             self.tracer.instant("axi", port.name, kind, now,
                                 {"addr": f"{txn.addr:#x}"})
@@ -281,7 +373,7 @@ class Observer(NullObserver):
 
     def pcie_transfer(self, fabric, src_node, dst_node, kind, units):
         now = fabric.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(fabric.name, now)
         if self._want_pcie:
             self.tracer.instant("pcie", fabric.name, kind, now,
                                 {"src": src_node, "dst": dst_node,
@@ -303,7 +395,7 @@ class Observer(NullObserver):
 
     def mem_retire(self, controller, kind, latency):
         now = controller.sim.now
-        self.probes.maybe_sample(now)
+        self.probes.nudge(controller.name, now)
         if self._want_mem:
             self.tracer.complete("mem", controller.name, kind,
                                  now - latency, latency)

@@ -7,9 +7,9 @@ utilization charts and are mirrored into the tracer as Chrome counter
 events, so Perfetto draws them as counter tracks alongside the spans.
 
 Sampling is **activity-driven**, not event-scheduled: the observer calls
-:meth:`maybe_sample` from its hooks and a snapshot is taken the first
-time instrumented activity crosses each ``interval`` boundary.  The
-probe layer therefore never schedules simulator events — ``sim.now``,
+:meth:`nudge` from its hooks and a snapshot is taken the first time
+instrumented activity crosses each ``interval`` boundary.  The probe
+layer therefore never schedules simulator events — ``sim.now``,
 ``events_executed``, and every architectural result stay bit-identical
 to an unobserved run, and a draining simulation can never be kept alive
 by its own sampler.
@@ -19,9 +19,29 @@ Sources are grouped by *category* (the subsystem that registered them:
 interval — ``ProbeSet(interval=1000, intervals={"noc": 64, "mem":
 256})`` snapshots NoC occupancy every 64 cycles of activity while DRAM
 backlogs tick at 256 and everything else at the 1000-cycle default.
-Categories keep independent next-due cycles aligned to their own
-interval grid; a single cheap ``now < min_due`` check keeps the hook-path
-cost flat no matter how many categories exist.
+Groups keep independent next-due cycles aligned to their own interval
+grid; a single cheap ``now < min_due`` check keeps the hook-path cost
+flat no matter how many groups exist.
+
+``by_owner=True`` switches the grouping to the *owning component*: a
+source then samples only when its own component's hooks nudge the
+clock.  Because a component's hook sequence is bit-identical between a
+monolithic and a partitioned run (and each component lives in exactly
+one partition), owner-mode sample instants — and therefore streamed
+counter tracks — are partition-invariant, which category mode cannot
+promise (in one process, activity anywhere in a category samples the
+whole category).  Components whose hooks never nudge (bridges, DRAM
+engines) contribute no owner-mode samples.
+
+``materialize=False`` stops the in-memory series append — samples then
+exist only as counter events in the tracer stream, which is how
+instrumentation planes with ``stream_series`` keep memory flat on
+arbitrarily long runs (:func:`repro.obs.trace.probe_series_from_jsonl`
+rebuilds the series from the JSONL).
+
+A probe source that raises is **disabled, not fatal**: the failure is
+warned once, counted in :attr:`failed` (exported as
+``obs.probes.failed``), and the remaining probes keep sampling.
 
 Occupancy sources come in two flavours:
 
@@ -34,6 +54,7 @@ Occupancy sources come in two flavours:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.link import Link
@@ -69,7 +90,7 @@ def link_utilization_probe(link: Link) -> Source:
     return sample
 
 
-class _Category:
+class _Group:
     """One sampling group: its sources, interval, and next due cycle."""
 
     __slots__ = ("interval", "next_at", "sources")
@@ -85,7 +106,10 @@ class ProbeSet:
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  interval: int = 1000,
-                 intervals: Optional[Dict[str, int]] = None) -> None:
+                 intervals: Optional[Dict[str, int]] = None,
+                 by_owner: bool = False,
+                 materialize: bool = True,
+                 on_sample: Optional[Callable[[int], None]] = None) -> None:
         if interval < 1:
             raise ValueError(f"probe interval must be >= 1, got {interval}")
         for category, value in (intervals or {}).items():
@@ -95,25 +119,32 @@ class ProbeSet:
                     f"got {value}")
         self.interval = interval
         self.intervals = dict(intervals or {})
+        self.failed = 0
         self._tracer = tracer
-        self._categories: Dict[str, _Category] = {}
+        self._by_owner = by_owner
+        self._materialize = materialize
+        self._on_sample = on_sample
+        self._groups: Dict[str, _Group] = {}
         self._series: Dict[str, List[Tuple[int, float]]] = {}
         self._min_due = _NEVER
 
     def add(self, name: str, source: Source,
-            category: str = DEFAULT_CATEGORY) -> None:
-        group = self._categories.get(category)
+            category: str = DEFAULT_CATEGORY,
+            owner: Optional[str] = None) -> None:
+        key = owner if self._by_owner and owner is not None else category
+        group = self._groups.get(key)
         if group is None:
             interval = self.intervals.get(category, self.interval)
-            group = self._categories[category] = _Category(interval)
+            group = self._groups[key] = _Group(interval)
             if group.next_at < self._min_due:
                 self._min_due = group.next_at
         group.sources.append((name, source))
-        self._series[name] = []
+        if self._materialize:
+            self._series[name] = []
 
     def __len__(self) -> int:
         return sum(len(group.sources)
-                   for group in self._categories.values())
+                   for group in self._groups.values())
 
     def interval_of(self, category: str) -> int:
         """The sampling interval governing ``category``."""
@@ -125,39 +156,97 @@ class ProbeSet:
     def due(self, now: int) -> bool:
         return now >= self._min_due
 
-    def _snapshot(self, group: _Category, now: int) -> None:
+    def _disable(self, group: _Group, name: str, source: Source,
+                 error: BaseException) -> None:
+        """Drop one failing source; the run (and its siblings) go on."""
+        group.sources.remove((name, source))
+        self.failed += 1
+        warnings.warn(
+            f"probe {name!r} raised {error!r}; disabling this probe "
+            f"(obs.probes.failed={self.failed})", RuntimeWarning,
+            stacklevel=4)
+
+    def _snapshot(self, group: _Group, now: int) -> None:
         tracer = self._tracer
+        broken = None
         for name, source in group.sources:
-            value = float(source())
-            self._series[name].append((now, value))
+            try:
+                value = float(source())
+            except Exception as error:
+                if broken is None:
+                    broken = []
+                broken.append((name, source, error))
+                continue
+            if self._materialize:
+                self._series[name].append((now, value))
             if tracer is not None:
                 tracer.counter("probe", name, name, now, {"value": value})
-        # Align the next due time to the category's interval grid so
+        if broken:
+            for name, source, error in broken:
+                self._disable(group, name, source, error)
+        # Align the next due time to the group's interval grid so
         # bursty activity cannot cause back-to-back snapshots.
         group.next_at = now - now % group.interval + group.interval
 
-    def sample(self, now: int) -> None:
-        """Snapshot every source of every category at cycle ``now``."""
-        for group in self._categories.values():
-            self._snapshot(group, now)
+    def _update_min_due(self) -> None:
         self._min_due = min((group.next_at
-                             for group in self._categories.values()),
+                             for group in self._groups.values()),
                             default=_NEVER)
 
+    def sample(self, now: int) -> None:
+        """Snapshot every source of every group at cycle ``now``."""
+        for group in self._groups.values():
+            self._snapshot(group, now)
+        self._update_min_due()
+        if self._on_sample is not None:
+            self._on_sample(now)
+
     def maybe_sample(self, now: int) -> None:
+        """Snapshot every *due* group (any-activity sampling)."""
         if now < self._min_due:
             return
-        for group in self._categories.values():
+        sampled = False
+        for group in self._groups.values():
             if now >= group.next_at:
                 self._snapshot(group, now)
-        self._min_due = min(group.next_at
-                            for group in self._categories.values())
+                sampled = True
+        self._update_min_due()
+        if sampled and self._on_sample is not None:
+            self._on_sample(now)
+
+    def nudge(self, owner: str, now: int) -> None:
+        """The observer hook path: advance the probe clock.
+
+        In category mode this is exactly :meth:`maybe_sample` — any
+        instrumented activity samples every due group.  In owner mode
+        only ``owner``'s group is considered, so a component's sources
+        sample on that component's own activity alone (the
+        partition-invariant contract).  Either way the common case is
+        one integer comparison.
+        """
+        if now < self._min_due:
+            return
+        if not self._by_owner:
+            self.maybe_sample(now)
+            return
+        group = self._groups.get(owner)
+        if group is None or now < group.next_at:
+            return
+        self._snapshot(group, now)
+        self._update_min_due()
+        if self._on_sample is not None:
+            self._on_sample(now)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def series(self, name: Optional[str] = None):
-        """Sampled ``[(cycle, value), ...]`` series (all, or one name)."""
+        """Sampled ``[(cycle, value), ...]`` series (all, or one name).
+
+        Empty in ``materialize=False`` (streamed) mode — the series
+        then live in the tracer's JSONL stream; rebuild them with
+        :func:`repro.obs.trace.probe_series_from_jsonl`.
+        """
         if name is not None:
             return list(self._series.get(name, ()))
         return {key: list(points) for key, points in self._series.items()}

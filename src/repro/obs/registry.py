@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import re
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..engine.stats import Histogram, StatGroup
@@ -85,8 +86,30 @@ class MetricRegistry:
                 yield f"{prefix}.{key}", value
 
     def gauges(self) -> Iterable[Tuple[str, float]]:
-        for name, fn in self._gauges.items():
-            yield name, fn()
+        """Live gauge readings; a raising gauge is dropped, not fatal.
+
+        Mirrors the probe-layer degradation contract: the broken source
+        is removed, warned about once, and counted under
+        ``obs.gauges.failed`` — every other gauge (and the export that
+        asked) keeps working.
+        """
+        broken = None
+        for name, fn in list(self._gauges.items()):
+            try:
+                value = fn()
+            except Exception as error:
+                if broken is None:
+                    broken = []
+                broken.append((name, error))
+                continue
+            yield name, value
+        if broken:
+            for name, error in broken:
+                del self._gauges[name]
+                self.inc("obs.gauges.failed")
+                warnings.warn(
+                    f"gauge {name!r} raised {error!r}; disabling this "
+                    f"gauge", RuntimeWarning, stacklevel=3)
 
     def histograms(self) -> Iterable[Tuple[str, Histogram]]:
         for name, hist in self._histograms.items():
@@ -111,9 +134,12 @@ class MetricRegistry:
     def to_dict(self) -> Dict[str, object]:
         """Flat ``name -> value`` dict; histograms keep exact counts."""
         out: Dict[str, object] = {}
+        # Gauges first: reading them may disable a broken source and
+        # bump obs.gauges.failed, which this same export must include.
+        gauges = list(self.gauges())
         for name, value in self.counters():
             out[name] = value
-        for name, value in self.gauges():
+        for name, value in gauges:
             out[name] = value
         for name, hist in self.histograms():
             entry = hist.to_dict()
@@ -143,11 +169,12 @@ class MetricRegistry:
             return metric if not seen else f"{metric}_{seen + 1}"
 
         lines: List[str] = []
+        gauges = sorted(self.gauges())  # may bump obs.gauges.failed
         for name, value in sorted(self.counters()):
             metric = claim(name)
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {value}")
-        for name, value in sorted(self.gauges()):
+        for name, value in gauges:
             metric = claim(name)
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {value}")

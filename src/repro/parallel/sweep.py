@@ -47,6 +47,12 @@ class SweepSpec:
     sweep's result and must itself stay JSON-able.  ``version`` is the
     point function's cache generation: bump it whenever the measurement
     changes meaning and every stored entry for the family goes stale.
+
+    ``obs_spec`` mirrors :class:`repro.obs.Observer` keyword arguments;
+    a ``"plane"`` key carries a canonical
+    :class:`~repro.obs.plane.InstrumentationPlane` dict to every worker.
+    Because the obs_spec is part of each point's store-key payload, two
+    sweeps under different planes can never share cached results.
     """
 
     family: str

@@ -140,11 +140,23 @@ class PartitionedPrototype(Prototype):
         return merge_metric_shards(shards)
 
     def merged_series(self) -> dict:
+        """Probe series across partitions (each source lives in exactly
+        one shard, so a plain union merges exactly).
+
+        Streamed planes (``stream_series``) never materialize series in
+        worker memory; when tracing shard files exist and the workers
+        report nothing, the series are rebuilt from the JSONL counter
+        tracks instead — after flushing every shard's buffered output.
+        """
         shards = self._engine.broadcast("series")
         merged: dict = {}
         for shard in shards:
             if shard:
                 merged.update(shard)
+        if not merged and all(self.trace_paths):
+            from ..obs.trace import probe_series_from_jsonl
+            self._engine.broadcast("flush")
+            merged = probe_series_from_jsonl(self.trace_paths)
         return merged
 
     def partition_metrics(self) -> dict:

@@ -59,7 +59,13 @@ def build_shard_observer(obs_spec: Optional[dict],
         return None
     from ..obs import Observer, StreamingTracer
     spec = dict(obs_spec or {})
-    categories = partition_trace_categories(spec.pop("categories", None))
+    categories = spec.pop("categories", None)
+    if categories is None and spec.get("plane") is not None:
+        # The plane's trace-category selection must shape the shard
+        # tracer too (it filters at record time), not just the Observer.
+        from ..obs.plane import as_plane
+        categories = as_plane(spec["plane"]).trace_categories
+    categories = partition_trace_categories(categories)
     spec.pop("tracing", None)
     if trace_path is not None:
         tracer = StreamingTracer(trace_path, categories=categories)
@@ -103,6 +109,14 @@ class Shard:
 
     def op_events_executed(self) -> int:
         return self.sim.events_executed
+
+    def op_flush(self) -> None:
+        """Flush buffered trace output without closing the backend, so
+        the coordinator can read complete shard JSONL mid-session
+        (streamed probe-series rebuilds)."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and getattr(obs, "tracer", None) is not None:
+            obs.flush()
 
     def op_close(self) -> None:
         obs = getattr(self.sim, "obs", None)

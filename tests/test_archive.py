@@ -441,7 +441,11 @@ class TestStatsTraceCli:
         assert "streamed" in capsys.readouterr().out
 
     def test_trace_rejects_bad_sample_intervals(self, tmp_path, capsys):
-        assert main(["trace", "2x1x2", "--sample-intervals", "noc",
-                     "--out", str(tmp_path / "t.json"),
-                     "--metrics", str(tmp_path / "m.json")]) == 2
+        # Validated at parse time now: argparse exits 2 with the flag
+        # named in the error, before any simulation starts.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "2x1x2", "--sample-intervals", "noc",
+                  "--out", str(tmp_path / "t.json"),
+                  "--metrics", str(tmp_path / "m.json")])
+        assert excinfo.value.code == 2
         assert "--sample-intervals" in capsys.readouterr().err

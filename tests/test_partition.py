@@ -185,6 +185,50 @@ class TestBitIdentity:
         assert json.dumps(merged, sort_keys=True) == \
             json.dumps(reference, sort_keys=True)
 
+    #: Streamed-probe-series plane for the identity test: node-local
+    #: metrics only (fabric links exist in several shards), component
+    #: sampling (sample instants then depend only on each component's
+    #: own hook sequence, which is partition-invariant), counter tracks
+    #: spilled to the JSONL stream instead of memory.
+    STREAM_PLANE = {
+        "metrics": ["node*"],
+        "sample_interval": 64,
+        "sampling": "component",
+        "trace": {"categories": list(PARTITION_TRACE_CATEGORIES),
+                  "stream_series": True},
+    }
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz"])
+    @pytest.mark.parametrize("partitions", [2, 4])
+    def test_streamed_probe_series_identical(self, tmp_path, partitions,
+                                             suffix):
+        from repro.obs import probe_series_from_jsonl
+        config = parse_config("4x1x2")
+        mono_path = tmp_path / ("mono" + suffix)
+        tracer = StreamingTracer(str(mono_path),
+                                 categories=PARTITION_TRACE_CATEGORIES)
+        obs = Observer(tracer=tracer, plane=self.STREAM_PLANE)
+        proto = Prototype(config, obs=obs)
+        mono_latencies = _drive(proto)
+        assert obs.probes.series() == {}       # streamed, never held
+        obs.close()
+        mono_series = probe_series_from_jsonl(str(mono_path))
+        assert mono_series                     # the plane did sample
+
+        shard_dir = tmp_path / f"p{partitions}"
+        shard_dir.mkdir()
+        proto = Prototype(config, partitions=partitions,
+                          obs_spec={"plane": self.STREAM_PLANE},
+                          trace_dir=str(shard_dir))
+        try:
+            latencies = _drive(proto)
+            merged = proto.merged_series()
+        finally:
+            proto.close()
+        assert latencies == mono_latencies
+        assert json.dumps(merged, sort_keys=True) == \
+            json.dumps(mono_series, sort_keys=True)
+
     def test_partition_counters_exported(self):
         part = _part_run("4x1x2", 2)
         counters = part["partition"]
