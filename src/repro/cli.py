@@ -17,6 +17,8 @@ simulation::
     python -m repro cache stats            # result-store contents / GC
     python -m repro farm run spec.json     # a fleet of runs over a host pool
     python -m repro farm status report/    # live fleet progress
+    python -m repro serve                  # HTTP result service (store+farm)
+    python -m repro query point fig8 ...   # ask a running service
 
 Common flags (``--seed``/``--output``/``--archive``/``--jobs``/
 ``--sample-intervals``/``--store``) come from :mod:`repro.cli_common`
@@ -35,7 +37,8 @@ from typing import Dict, List, Optional
 
 from . import Prototype, build, parse_config
 from .analysis import render_table
-from .cli_common import (archive_flags, emit, format_flags,
+from .cli_common import (EXIT_FAIL, EXIT_OK, EXIT_USAGE, archive_flags,
+                         emit, emit_payload, format_flags,
                          instrument_flags, jobs_flags, load_plane_arg,
                          output_flags, partitions_flags, sampling_flags,
                          seed_flags, store_flags, write_archive)
@@ -505,52 +508,51 @@ def cmd_cache_ls(args) -> int:
     store = ResultStore(args.store)
     entries = store.entries()
     now = time.time()
-    if args.format == "json":
+    described = [(entry, store.describe(entry)) for entry in entries]
+    payload = [{"key": entry.key, "bytes": entry.bytes,
+                "mtime_unix": round(entry.mtime, 3),
+                "payload": desc}
+               for entry, desc in described]
+
+    def render() -> str:
         rows = []
-        for entry in entries:
-            payload = store.describe(entry)
-            rows.append({"key": entry.key, "bytes": entry.bytes,
-                         "mtime_unix": round(entry.mtime, 3),
-                         "payload": payload})
-        emit(args, json.dumps(rows, indent=2, sort_keys=True),
-             what="store listing")
-        return 0
-    rows = []
-    for entry in entries:
-        payload = store.describe(entry)
-        point = json.dumps(payload.get("point"), sort_keys=True,
-                           default=str)
-        if len(point) > 40:
-            point = point[:37] + "..."
-        rows.append([entry.key[:12],
-                     payload.get("family", "?"),
-                     str(payload.get("config_hash", "?"))[:12],
-                     point, entry.bytes,
-                     _age_text(max(0.0, now - entry.mtime))])
-    emit(args, render_table(
-        ["key", "family", "config", "point", "bytes", "age"], rows,
-        title=f"result store {store.root} ({len(entries)} entries)"),
-        what="store listing")
-    return 0
+        for entry, desc in described:
+            if desc.get("missing"):
+                family, config, point = "(gone)", "", ""
+            else:
+                family = desc.get("family", "?")
+                config = str(desc.get("config_hash", "?"))[:12]
+                point = json.dumps(desc.get("point"), sort_keys=True,
+                                   default=str)
+                if len(point) > 40:
+                    point = point[:37] + "..."
+            rows.append([entry.key[:12], family, config, point,
+                         entry.bytes,
+                         _age_text(max(0.0, now - entry.mtime))])
+        return render_table(
+            ["key", "family", "config", "point", "bytes", "age"], rows,
+            title=f"result store {store.root} ({len(entries)} entries)")
+
+    emit_payload(args, payload, render, what="store listing")
+    return EXIT_OK
 
 
 def cmd_cache_stats(args) -> int:
     stats = ResultStore(args.store).stats()
-    if args.format == "json":
-        emit(args, json.dumps(stats, indent=2, sort_keys=True),
-             what="store stats")
-        return 0
-    rows = [["root", stats["root"]],
-            ["entries", stats["entries"]],
-            ["bytes", stats["bytes"]]]
-    if stats["oldest_unix"] is not None:
-        now = time.time()
-        rows.append(["oldest", _age_text(now - stats["oldest_unix"])])
-        rows.append(["newest", _age_text(now - stats["newest_unix"])])
-    emit(args, render_table(["property", "value"], rows,
-                            title="result store"),
-         what="store stats")
-    return 0
+
+    def render() -> str:
+        rows = [["root", stats["root"]],
+                ["entries", stats["entries"]],
+                ["bytes", stats["bytes"]]]
+        if stats["oldest_unix"] is not None:
+            now = time.time()
+            rows.append(["oldest", _age_text(now - stats["oldest_unix"])])
+            rows.append(["newest", _age_text(now - stats["newest_unix"])])
+        return render_table(["property", "value"], rows,
+                            title="result store")
+
+    emit_payload(args, stats, render, what="store stats")
+    return EXIT_OK
 
 
 def cmd_cache_gc(args) -> int:
@@ -628,28 +630,271 @@ def cmd_farm_status(args) -> int:
     from .farm import load_farm_manifest
 
     manifest = load_farm_manifest(args.report_dir)
-    if args.format == "json":
-        emit(args, json.dumps(manifest, indent=2, sort_keys=True),
-             what="farm status")
-        return 0
-    counters = manifest["counters"]
-    phase = "final" if manifest.get("final") else "in flight"
-    age = _age_text(max(0.0, time.time()
-                        - manifest.get("written_at_unix", 0.0)))
-    rows = [[job["job_id"], job["state"], job["attempts"],
-             job["retries"], job.get("host") or "",
-             (job.get("error") or {}).get("type", "")]
-            for job in manifest["jobs"]]
-    emit(args, render_table(
-        ["job", "state", "attempts", "retries", "host", "error"], rows,
-        title=f"farm {phase} (written {age} ago): "
-              f"{counters['obs.farm.queued']} queued, "
-              f"{counters['obs.farm.running']} running, "
-              f"{counters['obs.farm.done']} done, "
-              f"{counters['obs.farm.failed']} failed, "
-              f"{counters['obs.farm.retried']} retried"),
-        what="farm status table")
-    return 0
+
+    def render() -> str:
+        counters = manifest["counters"]
+        phase = "final" if manifest.get("final") else "in flight"
+        age = _age_text(max(0.0, time.time()
+                            - manifest.get("written_at_unix", 0.0)))
+        rows = [[job["job_id"], job["state"], job["attempts"],
+                 job["retries"], job.get("host") or "",
+                 (job.get("error") or {}).get("type", "")]
+                for job in manifest["jobs"]]
+        return render_table(
+            ["job", "state", "attempts", "retries", "host", "error"], rows,
+            title=f"farm {phase} (written {age} ago): "
+                  f"{counters['obs.farm.queued']} queued, "
+                  f"{counters['obs.farm.running']} running, "
+                  f"{counters['obs.farm.done']} done, "
+                  f"{counters['obs.farm.failed']} failed, "
+                  f"{counters['obs.farm.retried']} retried")
+
+    emit_payload(args, manifest, render, what="farm status")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro serve / repro query — the result service
+# ----------------------------------------------------------------------
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ResultService
+
+    farm = None
+    if args.farm:
+        from .farm import local_farm
+        hosts, _, slots = args.farm.partition("x")
+        try:
+            farm = local_farm(hosts=int(hosts), slots=int(slots or 1))
+        except ValueError:
+            raise ReproError(
+                f"--farm expects HOSTSxSLOTS (e.g. 2x2), got {args.farm!r}")
+    service = ResultService(args.store, runs_root=args.runs,
+                            spool_dir=args.spool, host=args.host,
+                            port=args.port, farm=farm)
+
+    async def _run() -> None:
+        await service.start()
+        print(f"repro.serve listening on {service.url} "
+              f"(store {service.store.root}, runs {args.runs})")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return EXIT_OK
+
+
+def _serve_client(args):
+    from .serve import ServeClient
+    return ServeClient(args.url)
+
+
+def _json_arg(text: Optional[str], what: str):
+    """A CLI value that may be JSON (``12``, ``[2,4]``, ``{"a":1}``)
+    or a bare string; bare strings pass through unchanged."""
+    if text is None:
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def cmd_query_point(args) -> int:
+    from .serve import config_hash_of, derived_seed
+
+    if (args.config is None) == (args.config_hash is None):
+        raise ReproError(
+            "query point needs exactly one of --config / --config-hash")
+    if args.seed is not None and args.index is not None:
+        raise ReproError(
+            "query point takes --seed or --index, not both")
+    config_hash = args.config_hash or config_hash_of(
+        args.config, seed=args.config_seed)
+    if args.seed is not None:
+        seed = args.seed
+    else:
+        seed = derived_seed(args.root_seed, args.family, args.index or 0)
+    with _serve_client(args) as client:
+        reply = client.query(
+            args.family, config_hash, _json_arg(args.point, "--point"),
+            seed, version=args.version,
+            obs=_json_arg(args.obs, "--obs"))
+
+    def render() -> str:
+        if not reply.found:
+            return f"miss: no stored entry under key {reply.key}"
+        return (f"hit {reply.key}\n"
+                + json.dumps(reply.value, indent=2, sort_keys=True,
+                             default=str))
+
+    emit_payload(args, reply.to_dict(), render, what="point reply")
+    return EXIT_OK if reply.found else EXIT_FAIL
+
+
+def cmd_query_archives(args) -> int:
+    with _serve_client(args) as client:
+        if args.run_id:
+            reply = client.archive(args.run_id)
+
+            def render() -> str:
+                return json.dumps(
+                    {"run_id": reply.run_id, "manifest": reply.manifest,
+                     "metrics": reply.metrics},
+                    indent=2, sort_keys=True, default=str)
+
+            emit_payload(args, reply.to_dict(), render, what="archive")
+            return EXIT_OK
+        reply = client.archives()
+
+    def render() -> str:
+        rows = [[a.get("run_id", "?"), str(a.get("config") or ""),
+                 str(a.get("config_hash") or "")[:12],
+                 a.get("metrics", 0),
+                 str(a.get("instrumentation_hash") or "")[:12]]
+                for a in reply.archives]
+        return render_table(
+            ["run", "config", "hash", "metrics", "plane"], rows,
+            title=f"served archives ({len(reply.archives)})")
+
+    emit_payload(args, reply.to_dict(), render, what="archive listing")
+    return EXIT_OK
+
+
+def cmd_query_metrics(args) -> int:
+    with _serve_client(args) as client:
+        reply = client.metrics(args.glob)
+
+    def render() -> str:
+        rows = [[m.get("run_id", "?"), m.get("metric", "?"),
+                 m.get("value")] for m in reply.matches]
+        return render_table(["run", "metric", "value"], rows,
+                            title=f"metrics matching {reply.glob!r} "
+                                  f"({len(reply.matches)})")
+
+    emit_payload(args, reply.to_dict(), render, what="metric matches")
+    return EXIT_OK
+
+
+def cmd_query_diff(args) -> int:
+    rules = []
+    if args.rel_tol or args.abs_tol:
+        rules.append({"pattern": "*", "rel_tol": args.rel_tol,
+                      "abs_tol": args.abs_tol})
+    with _serve_client(args) as client:
+        reply = client.diff(args.run_a, args.run_b, rules=rules,
+                            only_violations=args.only_violations,
+                            ignore_instrumentation=args.ignore_instrumentation)
+
+    def render() -> str:
+        rows = [[d.get("name"), d.get("a"), d.get("b"),
+                 d.get("abs_delta"), d.get("status")]
+                for d in reply.deltas]
+        verdict = "ok" if reply.ok else (
+            f"{reply.violations} violation(s)")
+        return render_table(
+            ["metric", "a", "b", "delta", "status"], rows,
+            title=f"server diff {reply.run_a} vs {reply.run_b}: {verdict}")
+
+    emit_payload(args, reply.to_dict(), render, what="diff report")
+    return EXIT_OK if reply.ok else EXIT_FAIL
+
+
+def cmd_query_submit(args) -> int:
+    fields = {"config": args.config, "seed": args.seed,
+              "root_seed": args.root_seed, "slots": args.slots}
+    if args.obs is not None:
+        fields["obs"] = _json_arg(args.obs, "--obs")
+    if args.thread_counts:
+        fields["thread_counts"] = tuple(
+            int(t) for t in args.thread_counts.split(","))
+    if args.threads is not None:
+        fields["threads"] = args.threads
+    if args.suite_id:
+        fields["suite_id"] = args.suite_id
+    with _serve_client(args) as client:
+        reply = client.submit(args.suite, **fields)
+        final_state = reply.state
+        job_payload = None
+        if args.wait:
+            job = client.wait_job(reply.job_id, timeout=args.timeout)
+            final_state = job.job.get("state", reply.state)
+            job_payload = job.to_dict()
+
+    payload = reply.to_dict()
+    if job_payload is not None:
+        payload = {"submit": payload, "job": job_payload}
+
+    def render() -> str:
+        line = (f"job {reply.job_id}: {final_state} "
+                f"({reply.warm} warm, {reply.cold} cold of "
+                f"{reply.points} points)")
+        if job_payload is not None and final_state != "done":
+            line += f"\nerror: {job_payload['job'].get('error')}"
+        return line
+
+    emit_payload(args, payload, render, what="submit reply")
+    if args.wait:
+        return EXIT_OK if final_state == "done" else EXIT_FAIL
+    return EXIT_OK
+
+
+def cmd_query_job(args) -> int:
+    with _serve_client(args) as client:
+        if args.job_id:
+            reply = client.job(args.job_id)
+            job = reply.job
+
+            def render() -> str:
+                lines = [f"job {job.get('job_id')}: {job.get('state')} "
+                         f"({job.get('warm')} warm, {job.get('cold')} "
+                         f"cold of {job.get('points')} points, suite "
+                         f"{job.get('suite_id')})"]
+                if job.get("error"):
+                    lines.append(f"error: {job['error']}")
+                if reply.farm is not None:
+                    counters = reply.farm.get("counters", {})
+                    lines.append(
+                        f"farm: {counters.get('obs.farm.done', 0)} done, "
+                        f"{counters.get('obs.farm.failed', 0)} failed, "
+                        f"{counters.get('obs.farm.retried', 0)} retried")
+                return "\n".join(lines)
+
+            emit_payload(args, reply.to_dict(), render, what="job reply")
+            return EXIT_OK if job.get("state") != "failed" else EXIT_FAIL
+        reply = client.jobs()
+
+    def render() -> str:
+        rows = [[j.get("job_id"), j.get("state"), j.get("suite_id"),
+                 j.get("warm"), j.get("cold"), j.get("points")]
+                for j in reply.jobs]
+        return render_table(
+            ["job", "state", "suite", "warm", "cold", "points"], rows,
+            title=f"served jobs ({len(reply.jobs)})")
+
+    emit_payload(args, reply.to_dict(), render, what="job listing")
+    return EXIT_OK
+
+
+def cmd_query_stats(args) -> int:
+    with _serve_client(args) as client:
+        metrics = client.stats()
+
+    def render() -> str:
+        rows = [[name, json.dumps(value, sort_keys=True, default=str)
+                 if isinstance(value, dict) else value]
+                for name, value in sorted(metrics.items())]
+        return render_table(["metric", "value"], rows,
+                            title="service metrics")
+
+    emit_payload(args, metrics, render, what="service stats")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -842,12 +1087,149 @@ def main(argv: Optional[List[str]] = None) -> int:
     farm_status.add_argument("report_dir", help="farm report directory")
     farm_status.set_defaults(func=cmd_farm_status)
 
+    from .serve.client import DEFAULT_URL, URL_ENV
+
+    serve = subparsers.add_parser(
+        "serve", help="serve stored results, archives, server-side "
+                      "diffs, and sweep submission over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port (0 picks a free one; default 8023)")
+    serve.add_argument("--store", default=default_store_root(),
+                       metavar="DIR",
+                       help="result store to serve (default: the "
+                            "resolved store root)")
+    serve.add_argument("--runs", default="runs", metavar="DIR",
+                       help="run-archive tree to serve (default: runs)")
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="cold-submit farm report spool "
+                            "(default: <store>/serve-jobs)")
+    serve.add_argument("--farm", default=None, metavar="HOSTSxSLOTS",
+                       help="local farm shape for cold submits "
+                            "(default: 1x2)")
+    serve.set_defaults(func=cmd_serve)
+
+    url_parent = argparse.ArgumentParser(add_help=False)
+    url_parent.add_argument(
+        "--url", default=os.environ.get(URL_ENV, DEFAULT_URL),
+        metavar="URL",
+        help=f"service url (default: ${URL_ENV} or {DEFAULT_URL})")
+    query_parents = [url_parent, format_flags(), output_flags()]
+
+    query = subparsers.add_parser(
+        "query", help="talk to a running result service (repro serve)")
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    query_point = query_sub.add_parser(
+        "point", help="fetch one sweep point by its store identity",
+        parents=query_parents)
+    query_point.add_argument("family", help="sweep family, e.g. fig8")
+    query_point.add_argument("--config", default=None, metavar="AxBxC",
+                             help="configuration label (hashed locally)")
+    query_point.add_argument("--config-hash", default=None, metavar="HASH",
+                             help="precomputed config hash (alternative "
+                                  "to --config)")
+    query_point.add_argument("--config-seed", type=int, default=0,
+                             metavar="N",
+                             help="seed baked into --config's hash")
+    query_point.add_argument("--point", default=None, metavar="JSON",
+                             help="the point value (JSON, e.g. 12 or "
+                                  "[2,4]; bare strings pass through)")
+    query_point.add_argument("--seed", type=int, default=None,
+                             help="the point's derived seed")
+    query_point.add_argument("--index", type=int, default=None,
+                             metavar="N",
+                             help="derive the seed from the point index "
+                                  "and --root-seed instead of --seed")
+    query_point.add_argument("--root-seed", type=int, default=0,
+                             metavar="N",
+                             help="sweep root seed for --index")
+    query_point.add_argument("--version", default="1",
+                             help="store payload version (default: 1)")
+    query_point.add_argument("--obs", default=None, metavar="JSON",
+                             help="obs spec of the stored point "
+                                  "(default: null)")
+    query_point.set_defaults(func=cmd_query_point)
+
+    query_archives = query_sub.add_parser(
+        "archives", help="list served run archives, or describe one",
+        parents=query_parents)
+    query_archives.add_argument("run_id", nargs="?", default=None,
+                                help="archive to describe (omit to list)")
+    query_archives.set_defaults(func=cmd_query_archives)
+
+    query_metrics = query_sub.add_parser(
+        "metrics", help="find metrics by glob across served archives",
+        parents=query_parents)
+    query_metrics.add_argument("glob", help="metric glob, e.g. "
+                                            "'noc.*.sent'")
+    query_metrics.set_defaults(func=cmd_query_metrics)
+
+    query_diff = query_sub.add_parser(
+        "diff", help="diff two served archives server-side",
+        parents=query_parents)
+    query_diff.add_argument("run_a", help="first archive run id")
+    query_diff.add_argument("run_b", help="second archive run id")
+    query_diff.add_argument("--rel-tol", type=float, default=0.0,
+                            metavar="FRACTION",
+                            help="default relative tolerance")
+    query_diff.add_argument("--abs-tol", type=float, default=0.0,
+                            metavar="DELTA",
+                            help="default absolute tolerance")
+    query_diff.add_argument("--only-violations", action="store_true",
+                            help="report only metrics outside tolerance")
+    query_diff.add_argument("--ignore-instrumentation",
+                            action="store_true",
+                            help="compare across instrumentation planes")
+    query_diff.set_defaults(func=cmd_query_diff)
+
+    query_submit = query_sub.add_parser(
+        "submit", help="submit a suite sweep; warm points answer from "
+                       "the store, cold points run on the service farm",
+        parents=query_parents)
+    query_submit.add_argument("suite", help="suite name (fig8 or fig9)")
+    query_submit.add_argument("--config", default="4x1x12",
+                              metavar="AxBxC")
+    query_submit.add_argument("--seed", type=int, default=0)
+    query_submit.add_argument("--root-seed", type=int, default=0,
+                              metavar="N")
+    query_submit.add_argument("--obs", default=None, metavar="JSON",
+                              help="obs spec forwarded to the sweep")
+    query_submit.add_argument("--thread-counts", default=None,
+                              metavar="N,N,..",
+                              help="fig8 thread counts, e.g. 2,4")
+    query_submit.add_argument("--threads", type=int, default=None,
+                              metavar="N", help="fig9 thread count")
+    query_submit.add_argument("--suite-id", default=None, metavar="ID")
+    query_submit.add_argument("--slots", type=int, default=1,
+                              metavar="N", help="farm slots per job")
+    query_submit.add_argument("--wait", action="store_true",
+                              help="poll until the job finishes")
+    query_submit.add_argument("--timeout", type=float, default=120.0,
+                              metavar="SECONDS",
+                              help="--wait deadline (default: 120)")
+    query_submit.set_defaults(func=cmd_query_submit)
+
+    query_job = query_sub.add_parser(
+        "job", help="list submitted jobs, or show one (with its live "
+                    "farm manifest)",
+        parents=query_parents)
+    query_job.add_argument("job_id", nargs="?", default=None,
+                           help="job to show (omit to list)")
+    query_job.set_defaults(func=cmd_query_job)
+
+    query_stats = query_sub.add_parser(
+        "stats", help="service counters and latency histogram",
+        parents=query_parents)
+    query_stats.set_defaults(func=cmd_query_stats)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -11,11 +11,19 @@ flags they need and the flags behave identically everywhere.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .errors import ReproError
+
+#: Shared CLI exit codes: 0 = success, 1 = the command ran but its
+#: result is a failure (diff violations, failed fleet/job, cache miss),
+#: 2 = the request itself was bad (any ReproError; argparse also uses 2).
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
 
 
 def jobs_count(value: str) -> int:
@@ -244,6 +252,23 @@ def emit(args, text: str, what: str = "output") -> None:
         print(f"wrote {what} to {output}")
     else:
         print(text)
+
+
+def emit_payload(args, payload, render_text: Callable[[], str],
+                 what: str = "output") -> None:
+    """One ``--format text|json`` behavior for every listing subcommand.
+
+    ``--format json`` emits ``payload`` as sorted-keys JSON; text mode
+    calls ``render_text()`` (lazily — tables are only built when shown).
+    Replaces the per-command hand-rolled ``if args.format == "json"``
+    branches so ``repro farm status``, ``repro cache ls/stats``, and
+    ``repro query`` cannot drift apart.
+    """
+    if getattr(args, "format", "text") == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    else:
+        text = render_text()
+    emit(args, text, what=what)
 
 
 def command_line() -> Optional[list]:

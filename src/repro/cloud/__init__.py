@@ -1,6 +1,9 @@
-"""Cloud pipeline (Fig. 12): AWS service models around the prototype."""
+"""Cloud pipeline (Fig. 12): AWS service models around the prototype,
+plus wall-clock load generators for real backends (repro.serve)."""
 
 from .http import HttpRequest, HttpResponse
+from .loadgen import (LoadReport, closed_loop, open_loop,
+                      pipeline_backend)
 from .pipeline import CloudPipeline, PipelineTrace
 from .services import (DatacenterNetwork, LambdaFunction, MS, S3Bucket)
 from .webserver import PrototypeWebServer, ServedRequest
@@ -11,9 +14,13 @@ __all__ = [
     "HttpRequest",
     "HttpResponse",
     "LambdaFunction",
+    "LoadReport",
     "MS",
     "PipelineTrace",
     "PrototypeWebServer",
     "S3Bucket",
     "ServedRequest",
+    "closed_loop",
+    "open_loop",
+    "pipeline_backend",
 ]

@@ -1,0 +1,211 @@
+"""Open- and closed-loop load generators over any callable backend.
+
+The cloud pipeline models Fig. 12 in *simulated* time; these generators
+drive a real backend in *wall-clock* time — most importantly the
+:mod:`repro.serve` result service, but the backend is just a callable
+``backend(index) -> object``, so the same generators load-test a
+:class:`~repro.cloud.webserver.PrototypeWebServer` wrapper, a plain
+function, or anything else.
+
+Two canonical load shapes:
+
+* :func:`closed_loop` — N workers each issue requests back to back;
+  offered load adapts to service rate.  This is the throughput probe
+  ("how many warm queries/s can the service sustain?").
+* :func:`open_loop` — arrivals follow a seeded Poisson (or fixed-rate)
+  schedule *independent of completions*; latency is measured from the
+  scheduled arrival, so queueing delay is charged to the service
+  (no coordinated omission).  This is the latency-under-load probe.
+
+Both return a :class:`LoadReport` carrying every per-request latency,
+so tests and EXPERIMENTS assert full distributions (p50/p90/p99), not
+just means.  A backend exception counts as an error and the run keeps
+going — a load test that dies on the first blip measures nothing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+
+Backend = Callable[[int], object]
+
+
+@dataclass
+class LoadReport:
+    """One load run: every completion latency plus the error count."""
+
+    latencies: List[float] = field(default_factory=list)  # seconds
+    errors: int = 0
+    duration_seconds: float = 0.0
+    offered_rps: Optional[float] = None    # open loop only
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies) + self.errors
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the completion latencies."""
+        if not self.latencies:
+            return 0.0
+        if not 0 < pct <= 100:
+            raise ReproError(
+                f"loadgen: percentile must be in (0, 100], got {pct}")
+        ordered = sorted(self.latencies)
+        rank = max(1, -(-len(ordered) * pct // 100))   # ceil division
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> Dict[str, object]:
+        """The flat JSON-able digest EXPERIMENTS and the CI job print."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_s": round(self.duration_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "offered_rps": (round(self.offered_rps, 1)
+                            if self.offered_rps else None),
+            "mean_ms": round(self.mean_seconds * 1e3, 3),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p90_ms": round(self.percentile(90) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+            "max_ms": round((max(self.latencies) if self.latencies
+                             else 0.0) * 1e3, 3),
+        }
+
+
+def _check_args(requests: int, workers: int) -> None:
+    if requests < 1:
+        raise ReproError(f"loadgen: requests must be >= 1, "
+                         f"got {requests}")
+    if workers < 1:
+        raise ReproError(f"loadgen: workers must be >= 1, got {workers}")
+
+
+def closed_loop(backend: Backend, *, requests: int = 256,
+                workers: int = 4) -> LoadReport:
+    """``workers`` threads issue ``requests`` total, back to back.
+
+    Each worker grabs the next request index and immediately issues the
+    next one when the previous completes — the classic closed loop whose
+    offered load equals the measured service rate.
+    """
+    _check_args(requests, workers)
+    next_index = iter(range(requests))
+    index_lock = threading.Lock()
+    report_lock = threading.Lock()
+    latencies: List[float] = []
+    errors = [0]
+
+    def worker() -> None:
+        local_lat: List[float] = []
+        local_err = 0
+        while True:
+            with index_lock:
+                index = next(next_index, None)
+            if index is None:
+                break
+            started = time.perf_counter()
+            try:
+                backend(index)
+            except Exception:
+                local_err += 1
+                continue
+            local_lat.append(time.perf_counter() - started)
+        with report_lock:
+            latencies.extend(local_lat)
+            errors[0] += local_err
+
+    threads = [threading.Thread(target=worker, name=f"loadgen-{i}")
+               for i in range(min(workers, requests))]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    return LoadReport(latencies=latencies, errors=errors[0],
+                      duration_seconds=duration)
+
+
+def open_loop(backend: Backend, *, rate: float, requests: int = 256,
+              seed: int = 0, poisson: bool = True,
+              workers: int = 32) -> LoadReport:
+    """Issue ``requests`` on a schedule independent of completions.
+
+    Arrival times are pre-drawn from ``random.Random(seed)`` (Poisson
+    with mean rate ``rate``/s, or exactly ``1/rate`` apart with
+    ``poisson=False``), so a run is reproducible for a given seed.
+    Latency for each request is measured from its *scheduled* arrival:
+    when the service falls behind, the queueing time it caused is part
+    of its latency — the open-loop property that makes p99 honest.
+    """
+    _check_args(requests, workers)
+    if rate <= 0:
+        raise ReproError(f"loadgen: rate must be > 0, got {rate}")
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    clock = 0.0
+    for _ in range(requests):
+        clock += rng.expovariate(rate) if poisson else 1.0 / rate
+        arrivals.append(clock)
+
+    report_lock = threading.Lock()
+    latencies: List[float] = []
+    errors = [0]
+
+    def issue(index: int, scheduled: float) -> None:
+        try:
+            backend(index)
+        except Exception:
+            with report_lock:
+                errors[0] += 1
+            return
+        latency = time.perf_counter() - epoch - scheduled
+        with report_lock:
+            latencies.append(latency)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        epoch = time.perf_counter()
+        futures = []
+        for index, scheduled in enumerate(arrivals):
+            delay = scheduled - (time.perf_counter() - epoch)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(issue, index, scheduled))
+        for future in futures:
+            future.result()
+        duration = time.perf_counter() - epoch
+    return LoadReport(latencies=latencies, errors=errors[0],
+                      duration_seconds=duration,
+                      offered_rps=requests / arrivals[-1])
+
+
+def pipeline_backend(pipeline, path: str = "/data") -> Backend:
+    """Adapt a :class:`~repro.cloud.pipeline.CloudPipeline` (or the
+    webserver behind one) into a generator backend."""
+    def backend(index: int):
+        return pipeline.run_request(path)
+    return backend

@@ -42,6 +42,10 @@ class FarmError(ReproError):
     """The run farm was mis-specified or a fleet run failed."""
 
 
+class ServeError(ReproError):
+    """The result service was given an invalid request or reply."""
+
+
 class TransientJobError(ReproError):
     """A farm job failed for a reason worth retrying (raise this from a
     job function to request a retry instead of a deterministic failure)."""

@@ -17,12 +17,12 @@ list, the point function, and the merge, and optionally memoizes every
 point in a :class:`~repro.store.ResultStore` (warm reruns skip
 simulation entirely).  :mod:`repro.parallel.probes` builds the Fig. 7
 latency specs and :mod:`repro.parallel.osmodel` the Fig. 8/9 OS-model
-specs; the legacy ``sharded_*`` names remain as deprecated wrappers.
+specs.  (The deprecated ``sharded_*`` wrappers are gone; build the spec
+and call :func:`run_sweep`.)
 """
 
-from .osmodel import (fig8_spec, fig9_spec, sharded_fig8_series,
-                      sharded_fig9_series)
-from .probes import latency_matrix_spec, probe_rows, sharded_latency_matrix
+from .osmodel import fig8_spec, fig9_spec
+from .probes import latency_matrix_spec, probe_rows
 from .runner import env_jobs, fixed_shards, resolve_jobs, run_tasks, task_seed
 from .sweep import (SweepResult, SweepSpec, collect_sweep, run_sweep,
                     sweep_point_task, sweep_tasks)
@@ -40,9 +40,6 @@ __all__ = [
     "resolve_jobs",
     "run_sweep",
     "run_tasks",
-    "sharded_fig8_series",
-    "sharded_fig9_series",
-    "sharded_latency_matrix",
     "sweep_point_task",
     "sweep_tasks",
     "task_seed",

@@ -27,19 +27,14 @@ The IS model is currently analytic, so workers do not consume it yet; it
 is part of the task contract (and the store key) so stochastic workload
 parameters can be added without changing the sharding, the merge, or
 cache addressing.
-
-:func:`sharded_fig8_series` / :func:`sharded_fig9_series` remain as
-deprecated thin wrappers.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Dict, List, Optional
 
-from .runner import resolve_jobs
-from .sweep import SweepSpec, run_sweep
+from .sweep import SweepSpec
 
 #: Cache generation of :func:`model_point`; bump when the machine
 #: measurement or the IS model evaluation changes meaning.
@@ -139,70 +134,3 @@ def fig9_spec(config, n_threads: int = 12, params=None,
                      point_fn=model_point, merge_fn=merge,
                      version=OSMODEL_POINT_VERSION, root_seed=root_seed,
                      obs_spec=obs_spec)
-
-
-def _wrap_legacy(spec, jobs, with_metrics):
-    from ..osmodel import NumaMachine
-
-    merged = run_sweep(spec, jobs=jobs).value
-    machine = NumaMachine.from_dict(merged["machine"])
-    if with_metrics:
-        return machine, merged["series"], merged["metrics"]
-    return machine, merged["series"]
-
-
-def sharded_fig8_series(config, thread_counts=(3, 6, 12, 24, 48),
-                        params=None, jobs: Optional[int] = 1,
-                        root_seed: int = 0, with_metrics: bool = False):
-    """Deprecated: build :func:`fig8_spec` and run it through
-    :func:`repro.parallel.run_sweep` instead.
-
-    Returns ``(machine, series)`` — matching
-    :func:`repro.workloads.fig8_series` bit-for-bit at any ``jobs`` —
-    with the shard-merged metrics dict appended when
-    ``with_metrics=True``.  ``jobs=1`` without metrics keeps the legacy
-    short-circuit (one in-process machine measurement).
-    """
-    warnings.warn(
-        "sharded_fig8_series is deprecated; use "
-        "run_sweep(fig8_spec(config, ...)) instead",
-        DeprecationWarning, stacklevel=2)
-    from ..core.prototype import Prototype
-    from ..osmodel import machine_from_prototype
-    from ..workloads.intsort import IntSortParams, fig8_series
-
-    if not with_metrics and min(resolve_jobs(jobs),
-                                len(thread_counts)) <= 1:
-        machine = machine_from_prototype(Prototype(config))
-        return machine, fig8_series(machine, thread_counts,
-                                    params or IntSortParams())
-    spec = fig8_spec(config, thread_counts, params, root_seed,
-                     {} if with_metrics else None)
-    return _wrap_legacy(spec, jobs, with_metrics)
-
-
-def sharded_fig9_series(config, n_threads: int = 12, params=None,
-                        jobs: Optional[int] = 1, root_seed: int = 0,
-                        with_metrics: bool = False):
-    """Deprecated: build :func:`fig9_spec` and run it through
-    :func:`repro.parallel.run_sweep` instead.
-
-    Returns ``(machine, series)`` matching
-    :func:`repro.workloads.fig9_series` bit-for-bit at any ``jobs``;
-    ``with_metrics`` behaves as in :func:`sharded_fig8_series`.
-    """
-    warnings.warn(
-        "sharded_fig9_series is deprecated; use "
-        "run_sweep(fig9_spec(config, ...)) instead",
-        DeprecationWarning, stacklevel=2)
-    from ..core.prototype import Prototype
-    from ..osmodel import machine_from_prototype
-    from ..workloads.intsort import IntSortParams, fig9_series
-
-    if not with_metrics and min(resolve_jobs(jobs), config.n_nodes) <= 1:
-        machine = machine_from_prototype(Prototype(config))
-        return machine, fig9_series(machine, n_threads,
-                                    params or IntSortParams())
-    spec = fig9_spec(config, n_threads, params, root_seed,
-                     {} if with_metrics else None)
-    return _wrap_legacy(spec, jobs, with_metrics)

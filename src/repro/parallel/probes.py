@@ -19,14 +19,11 @@ Everything here is expressed as a :class:`~repro.parallel.sweep.SweepSpec`
 rides along as before: an ``obs_spec`` attaches a metrics-only
 :class:`~repro.obs.Observer` inside every worker and the shard dicts
 merge exactly, byte-identical at every worker count.
-
-:func:`sharded_latency_matrix` remains as a deprecated thin wrapper.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .sweep import SweepSpec, run_sweep
 
@@ -105,33 +102,6 @@ def latency_matrix_spec(config, senders: Optional[Sequence[int]] = None,
                      point_fn=measure_rows_point, merge_fn=merge_rows,
                      version=FIG7_POINT_VERSION, root_seed=root_seed,
                      obs_spec=obs_spec)
-
-
-def sharded_latency_matrix(config, probes_per_pair: int = 1,
-                           jobs: Optional[int] = 1,
-                           rows_per_shard: int = ROWS_PER_SHARD,
-                           with_metrics: bool = False,
-                           obs_spec: Optional[dict] = None):
-    """Deprecated: build a spec with :func:`latency_matrix_spec` and run
-    it through :func:`repro.parallel.run_sweep` instead.
-
-    Output is unchanged: the matrix (list of rows), or ``(matrix,
-    merged_metrics)`` with ``with_metrics=True`` — identical at every
-    ``jobs`` value, as before.
-    """
-    warnings.warn(
-        "sharded_latency_matrix is deprecated; use "
-        "run_sweep(latency_matrix_spec(config, ...)) instead",
-        DeprecationWarning, stacklevel=2)
-    if with_metrics and obs_spec is None:
-        obs_spec = {}
-    spec = latency_matrix_spec(config, probes_per_pair=probes_per_pair,
-                               rows_per_shard=rows_per_shard,
-                               obs_spec=obs_spec if with_metrics else None)
-    merged = run_sweep(spec, jobs=jobs).value
-    if with_metrics:
-        return merged["rows"], merged["metrics"]
-    return merged["rows"]
 
 
 def probe_rows(config, senders: Sequence[int], probes_per_pair: int = 1,

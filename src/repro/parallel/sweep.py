@@ -4,9 +4,8 @@ Every sharded experiment in this repo has the same shape: a
 configuration, a list of independent sweep points, a module-level point
 function evaluated once per point (in-process or across a process pool),
 and a merge that folds per-point values in task order.  ``run_sweep``
-is that shape as a single entry point; the legacy
-``sharded_latency_matrix`` / ``sharded_fig8_series`` /
-``sharded_fig9_series`` names are now thin deprecated wrappers over it.
+is that shape as a single entry point (the legacy ``sharded_*`` wrapper
+names are gone — build a spec and call ``run_sweep``).
 
 The store hook lives here and only here: when a
 :class:`~repro.store.ResultStore` is passed, every worker first checks

@@ -377,7 +377,9 @@ class ResultStore:
         A present-but-invalid entry (truncated JSON, wrong schema
         version, key mismatch) is evicted with a warning and reported as
         a miss — corruption re-simulates a point, it never crashes a
-        sweep.
+        sweep.  An entry that *vanished* (a concurrent GC or ``clear``
+        raced this load) is a plain miss: no warning, no eviction —
+        losing a cache race is normal operation, not corruption.
         """
         path = self.path_for(key)
         try:
@@ -387,6 +389,10 @@ class ResultStore:
             self.misses += 1
             return False, None
         except (OSError, ValueError) as error:
+            if not os.path.exists(path):
+                # The entry was GC'd out from under us mid-read.
+                self.misses += 1
+                return False, None
             self._evict(path, f"unreadable entry ({error})")
             self.misses += 1
             return False, None
@@ -500,16 +506,22 @@ class ResultStore:
         return found
 
     def describe(self, entry: EntryInfo) -> Dict[str, object]:
-        """The embedded key payload of an entry (``cache ls``)."""
+        """The embedded key payload of an entry (``cache ls``).
+
+        An entry that vanished between the :meth:`entries` scan and
+        this read reports ``{"missing": True}`` (a concurrent GC won
+        the race — nothing is wrong); a present-but-unparseable entry
+        reports ``{"corrupt": True}``.
+        """
         try:
             with open(entry.path) as handle:
                 data = json.load(handle)
-            payload = data.get("payload") or {}
-            if not isinstance(payload, dict):
-                payload = {}
         except (OSError, ValueError):
+            if not os.path.exists(entry.path):
+                return {"missing": True}
             return {"corrupt": True}
-        return payload
+        payload = data.get("payload") if isinstance(data, dict) else None
+        return payload if isinstance(payload, dict) else {}
 
     def stats(self) -> Dict[str, object]:
         entries = self.entries()

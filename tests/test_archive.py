@@ -151,25 +151,23 @@ class TestMergeMetricShards:
         # The acceptance property: jobs=4 merged dict == jobs=1, to the
         # byte, and the matrices agree.
         config = parse_config("2x1x2")
-        from repro.parallel import sharded_latency_matrix
-        m1, met1 = sharded_latency_matrix(config, jobs=1,
-                                          with_metrics=True)
-        m4, met4 = sharded_latency_matrix(config, jobs=4,
-                                          with_metrics=True)
-        assert m1 == m4
-        assert json.dumps(met1, sort_keys=True) \
-            == json.dumps(met4, sort_keys=True)
+        from repro.parallel import latency_matrix_spec, run_sweep
+        spec = latency_matrix_spec(config, obs_spec={})
+        v1 = run_sweep(spec, jobs=1).value
+        v4 = run_sweep(spec, jobs=4).value
+        assert v1["rows"] == v4["rows"]
+        assert json.dumps(v1["metrics"], sort_keys=True) \
+            == json.dumps(v4["metrics"], sort_keys=True)
 
     def test_sharded_fig8_metrics_identical_at_any_jobs(self):
-        from repro.parallel import sharded_fig8_series
+        from repro.parallel import fig8_spec, run_sweep
         config = parse_config("2x1x2")
-        _, s1, met1 = sharded_fig8_series(config, thread_counts=(2, 4),
-                                          jobs=1, with_metrics=True)
-        _, s4, met4 = sharded_fig8_series(config, thread_counts=(2, 4),
-                                          jobs=4, with_metrics=True)
-        assert s1 == s4
-        assert json.dumps(met1, sort_keys=True) \
-            == json.dumps(met4, sort_keys=True)
+        spec = fig8_spec(config, thread_counts=(2, 4), obs_spec={})
+        v1 = run_sweep(spec, jobs=1).value
+        v4 = run_sweep(spec, jobs=4).value
+        assert v1["series"] == v4["series"]
+        assert json.dumps(v1["metrics"], sort_keys=True) \
+            == json.dumps(v4["metrics"], sort_keys=True)
 
 
 # ----------------------------------------------------------------------

@@ -1,10 +1,16 @@
 """Tests for the Fig. 12 cloud pipeline and the analysis helpers."""
 
+import threading
+import time
+
 import pytest
 
 from repro.analysis import (bar_chart, block_summary, heatmap, render_table)
-from repro.cloud import (CloudPipeline, HttpRequest, MS, S3Bucket)
+from repro.cloud import (CloudPipeline, HttpRequest, LoadReport, MS,
+                         S3Bucket, closed_loop, open_loop,
+                         pipeline_backend)
 from repro.engine import Simulator
+from repro.errors import ReproError
 
 
 class TestS3:
@@ -103,3 +109,141 @@ class TestAnalysis:
         summary = block_summary(matrix, block=2)
         assert summary["intra_node_mean"] == pytest.approx(10)
         assert summary["inter_node_mean"] == pytest.approx(90)
+
+
+# ----------------------------------------------------------------------
+# Load generators (repro.cloud.loadgen)
+# ----------------------------------------------------------------------
+
+class TestLoadReport:
+    def test_percentiles_over_known_distribution(self):
+        # 1..100 ms: nearest-rank percentiles are exact.
+        report = LoadReport(latencies=[i / 1000 for i in range(1, 101)])
+        assert report.percentile(50) == pytest.approx(0.050)
+        assert report.percentile(90) == pytest.approx(0.090)
+        assert report.percentile(99) == pytest.approx(0.099)
+        assert report.percentile(100) == pytest.approx(0.100)
+        assert report.percentile(1) == pytest.approx(0.001)
+
+    def test_percentile_rejects_out_of_range(self):
+        report = LoadReport(latencies=[0.001])
+        for bad in (0, -1, 101):
+            with pytest.raises(ReproError):
+                report.percentile(bad)
+
+    def test_empty_report_is_all_zero(self):
+        report = LoadReport()
+        assert report.requests == 0
+        assert report.percentile(99) == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.summary()["p99_ms"] == 0.0
+
+    def test_summary_shape(self):
+        report = LoadReport(latencies=[0.002, 0.004], errors=1,
+                            duration_seconds=0.5)
+        digest = report.summary()
+        assert digest["requests"] == 3
+        assert digest["completed"] == 2
+        assert digest["errors"] == 1
+        assert digest["mean_ms"] == pytest.approx(3.0)
+        assert digest["p50_ms"] <= digest["p90_ms"] <= digest["p99_ms"]
+
+
+class TestClosedLoop:
+    def test_drives_arbitrary_callable_and_counts_all_requests(self):
+        seen = []
+        lock = threading.Lock()
+
+        def backend(index):
+            with lock:
+                seen.append(index)
+            return index * 2
+
+        report = closed_loop(backend, requests=40, workers=4)
+        assert sorted(seen) == list(range(40))
+        assert report.completed == 40 and report.errors == 0
+        assert len(report.latencies) == 40
+        assert report.throughput_rps > 0
+
+    def test_latency_distribution_tracks_the_backend(self):
+        # A backend with a known bimodal service time: the tail of the
+        # measured distribution must reflect the slow mode, so asserting
+        # p50 < p99 checks distributions are kept, not just means.
+        def backend(index):
+            time.sleep(0.02 if index % 10 == 0 else 0.001)
+
+        report = closed_loop(backend, requests=50, workers=2)
+        assert report.completed == 50
+        assert report.percentile(50) <= report.percentile(90) \
+            <= report.percentile(99)
+        assert report.percentile(99) >= 0.015     # the slow mode
+        assert report.percentile(50) < 0.015      # the fast mode
+
+    def test_backend_errors_counted_not_fatal(self):
+        def backend(index):
+            if index % 5 == 0:
+                raise RuntimeError("blip")
+            return index
+
+        report = closed_loop(backend, requests=25, workers=3)
+        assert report.errors == 5
+        assert report.completed == 20
+        assert report.requests == 25
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            closed_loop(lambda i: i, requests=0)
+        with pytest.raises(ReproError):
+            closed_loop(lambda i: i, requests=1, workers=0)
+
+
+class TestOpenLoop:
+    def test_arrivals_reproducible_for_a_seed(self):
+        # The schedule (and thus offered_rps) is a pure function of the
+        # seed — two runs offer identical load.
+        a = open_loop(lambda i: i, rate=2000, requests=30, seed=7)
+        b = open_loop(lambda i: i, rate=2000, requests=30, seed=7)
+        assert a.offered_rps == pytest.approx(b.offered_rps)
+        c = open_loop(lambda i: i, rate=2000, requests=30, seed=8)
+        assert c.offered_rps != a.offered_rps
+
+    def test_fixed_rate_schedule_offers_exactly_rate(self):
+        report = open_loop(lambda i: i, rate=1000, requests=20,
+                           poisson=False)
+        assert report.offered_rps == pytest.approx(1000)
+        assert report.completed == 20
+
+    def test_queueing_charged_to_slow_service(self):
+        # One worker, service time 5ms, arrivals every 1ms: the open
+        # loop must charge the growing queue to later requests, so the
+        # p99 is far above the bare service time (no coordinated
+        # omission).
+        def backend(index):
+            time.sleep(0.005)
+
+        report = open_loop(backend, rate=1000, requests=20,
+                           poisson=False, workers=1)
+        assert report.completed == 20
+        assert report.percentile(99) > 0.02
+        assert report.percentile(99) > report.percentile(50)
+
+    def test_errors_counted(self):
+        def backend(index):
+            if index == 3:
+                raise RuntimeError("blip")
+
+        report = open_loop(backend, rate=5000, requests=10)
+        assert report.errors == 1 and report.completed == 9
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ReproError):
+            open_loop(lambda i: i, rate=0, requests=1)
+
+
+class TestPipelineBackend:
+    def test_wraps_cloud_pipeline(self):
+        pipeline = CloudPipeline(seed=3)
+        backend = pipeline_backend(pipeline)
+        served = backend(0)
+        assert served.response is not None
+        assert served.total_cycles > 0

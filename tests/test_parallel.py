@@ -4,8 +4,9 @@ import pytest
 
 from repro import build, parse_config
 from repro.errors import ConfigError
-from repro.parallel import (env_jobs, fixed_shards, probe_rows, resolve_jobs,
-                            run_tasks, sharded_latency_matrix, task_seed)
+from repro.parallel import (env_jobs, fixed_shards, latency_matrix_spec,
+                            probe_rows, resolve_jobs, run_sweep, run_tasks,
+                            task_seed)
 
 
 def _square(value):
@@ -68,9 +69,9 @@ class TestRunner:
 class TestShardedProbes:
     def test_matrix_identical_serial_vs_parallel(self):
         config = parse_config("1x2x2")
-        serial = sharded_latency_matrix(config, jobs=1)
-        parallel = sharded_latency_matrix(config, jobs=4)
-        assert serial == parallel
+        serial = run_sweep(latency_matrix_spec(config), jobs=1)
+        parallel = run_sweep(latency_matrix_spec(config), jobs=4)
+        assert serial.value["rows"] == parallel.value["rows"]
 
     def test_matrix_identical_via_prototype_api(self):
         proto = build("1x2x2")
@@ -80,8 +81,9 @@ class TestShardedProbes:
         # rows_per_shard defines which probes share a prototype; any jobs
         # value leaves it alone, so results never depend on worker count.
         config = parse_config("1x2x2")
-        one = sharded_latency_matrix(config, jobs=1, rows_per_shard=2)
-        two = sharded_latency_matrix(config, jobs=2, rows_per_shard=2)
+        spec = latency_matrix_spec(config, rows_per_shard=2)
+        one = run_sweep(spec, jobs=1).value["rows"]
+        two = run_sweep(spec, jobs=2).value["rows"]
         assert one == two
 
     def test_probe_rows_match_matrix_diagonal_blocks(self):
@@ -117,34 +119,32 @@ class TestShardedOsModel:
     def test_fig8_serial_parallel_legacy_identical(self):
         from repro.core.prototype import Prototype
         from repro.osmodel import machine_from_prototype
-        from repro.parallel import sharded_fig8_series
+        from repro.parallel import fig8_spec
         from repro.workloads.intsort import IntSortParams, fig8_series
 
         config = parse_config(self.CONFIG)
-        machine_serial, serial = sharded_fig8_series(
-            config, self.THREADS, jobs=1)
-        machine_parallel, parallel = sharded_fig8_series(
-            config, self.THREADS, jobs=2)
+        serial = run_sweep(fig8_spec(config, self.THREADS), jobs=1).value
+        parallel = run_sweep(fig8_spec(config, self.THREADS), jobs=2).value
         legacy_machine = machine_from_prototype(Prototype(config))
         legacy = fig8_series(legacy_machine, self.THREADS, IntSortParams())
-        assert machine_serial == machine_parallel == legacy_machine
-        assert serial == parallel == legacy
+        assert (serial["machine"] == parallel["machine"]
+                == legacy_machine.to_dict())
+        assert serial["series"] == parallel["series"] == legacy
 
     def test_fig9_serial_parallel_legacy_identical(self):
         from repro.core.prototype import Prototype
         from repro.osmodel import machine_from_prototype
-        from repro.parallel import sharded_fig9_series
+        from repro.parallel import fig9_spec
         from repro.workloads.intsort import IntSortParams, fig9_series
 
         config = parse_config(self.CONFIG)
-        machine_serial, serial = sharded_fig9_series(
-            config, n_threads=2, jobs=1)
-        machine_parallel, parallel = sharded_fig9_series(
-            config, n_threads=2, jobs=2)
+        serial = run_sweep(fig9_spec(config, n_threads=2), jobs=1).value
+        parallel = run_sweep(fig9_spec(config, n_threads=2), jobs=2).value
         legacy_machine = machine_from_prototype(Prototype(config))
         legacy = fig9_series(legacy_machine, 2, IntSortParams())
-        assert machine_serial == machine_parallel == legacy_machine
-        assert serial == parallel == legacy
+        assert (serial["machine"] == parallel["machine"]
+                == legacy_machine.to_dict())
+        assert serial["series"] == parallel["series"] == legacy
 
     def test_fig8_task_seeds_are_distinct(self):
         from repro.parallel.runner import task_seed

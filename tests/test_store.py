@@ -7,9 +7,8 @@ import pytest
 
 from repro import parse_config
 from repro.errors import StoreError
-from repro.parallel import (SweepSpec, fig8_spec, latency_matrix_spec,
-                            run_sweep, run_tasks, sharded_fig8_series,
-                            sharded_fig9_series, sharded_latency_matrix)
+from repro.parallel import (SweepSpec, fig8_spec, fig9_spec,
+                            latency_matrix_spec, run_sweep, run_tasks)
 from repro.store import (GCItem, ResultStore, STORE_SCHEMA_VERSION,
                          canonical_value, entry_key, gc_runs, gc_select,
                          parse_age, parse_bytes, store_from_env)
@@ -383,30 +382,26 @@ class TestFig8WarmCache:
         assert cold == warm == proto.latency_matrix(jobs=1)
 
 
-class TestDeprecatedWrappers:
-    """The legacy sharded entry points: same results, now warning."""
+class TestDeprecatedWrappersRemoved:
+    """The PR-5 deprecation has landed: the sharded_* names are gone and
+    the spec builders cover what the wrappers returned."""
 
-    def test_sharded_latency_matrix_warns_and_matches(self):
-        config = parse_config("1x2x2")
-        with pytest.warns(DeprecationWarning, match="run_sweep"):
-            legacy = sharded_latency_matrix(config, jobs=1)
-        spec = latency_matrix_spec(config)
-        assert legacy == run_sweep(spec, jobs=1).value["rows"]
+    def test_legacy_names_are_gone(self):
+        import repro.parallel as parallel
+        for name in ("sharded_latency_matrix", "sharded_fig8_series",
+                     "sharded_fig9_series"):
+            assert not hasattr(parallel, name)
+            assert name not in parallel.__all__
 
-    def test_sharded_fig8_warns_and_matches(self):
+    def test_run_sweep_covers_the_wrapper_surface(self):
         config = parse_config("2x1x2")
-        with pytest.warns(DeprecationWarning, match="run_sweep"):
-            machine, series = sharded_fig8_series(config, (2, 4), jobs=2)
-        result = run_sweep(fig8_spec(config, (2, 4)), jobs=1)
-        assert machine.to_dict() == result.value["machine"]
-        assert series == result.value["series"]
-
-    def test_sharded_fig9_warns(self):
-        config = parse_config("2x1x2")
-        with pytest.warns(DeprecationWarning, match="run_sweep"):
-            _machine, series = sharded_fig9_series(config, n_threads=2,
-                                                   jobs=1)
-        assert series["active_nodes"] == [1, 2]
+        fig8 = run_sweep(fig8_spec(config, (2, 4)), jobs=1).value
+        assert fig8["series"]["threads"] == [2, 4]
+        fig9 = run_sweep(fig9_spec(config, n_threads=2), jobs=1).value
+        assert fig9["series"]["active_nodes"] == [1, 2]
+        rows = run_sweep(latency_matrix_spec(parse_config("1x2x2")),
+                         jobs=1).value["rows"]
+        assert len(rows) == 4
 
 
 class TestCanonicalValue:
@@ -416,3 +411,76 @@ class TestCanonicalValue:
     def test_floats_survive_exactly(self):
         values = [0.1, 1e-300, 123456.789e10, 2.0 / 3.0]
         assert canonical_value(values) == values
+
+
+class TestConcurrentGCRaces:
+    """Losing a race against GC is a miss, never 'corruption'."""
+
+    def test_load_vanished_entry_is_plain_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = entry_key({"family": "toy", "x": 1})
+        store.put(key, {"v": 1})
+        os.unlink(store.path_for(key))
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")   # any warning fails
+            hit, value = store.load(key)
+        assert (hit, value) == (False, None)
+        assert store.misses == 1
+        assert store.evictions == 0
+
+    def test_load_entry_gcd_mid_read_is_plain_miss(self, tmp_path,
+                                                   monkeypatch):
+        # The file exists when open() succeeds but is GC'd before the
+        # read completes: json.load raises, the file is gone — a miss,
+        # not an eviction warning.
+        import repro.store as store_mod
+        store = ResultStore(tmp_path)
+        key = entry_key({"family": "toy", "x": 2})
+        store.put(key, {"v": 2})
+        path = store.path_for(key)
+        real_load = store_mod.json.load
+
+        def racing_load(handle):
+            if getattr(handle, "name", None) == path:
+                os.unlink(path)
+                raise ValueError("read raced a GC")
+            return real_load(handle)
+
+        monkeypatch.setattr(store_mod.json, "load", racing_load)
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            hit, value = store.load(key)
+        assert (hit, value) == (False, None)
+        assert store.misses == 1
+        assert store.evictions == 0
+
+    def test_load_garbage_entry_still_evicts_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = entry_key({"family": "toy", "x": 3})
+        store.put(key, {"v": 3})
+        with open(store.path_for(key), "w") as handle:
+            handle.write("{not json")
+        with pytest.warns(UserWarning, match="evicting"):
+            hit, _ = store.load(key)
+        assert hit is False
+        assert store.evictions == 1
+        assert not os.path.exists(store.path_for(key))
+
+    def test_describe_vanished_entry_reports_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = entry_key({"family": "toy", "x": 4})
+        store.put(key, {"v": 4}, payload={"family": "toy", "x": 4})
+        (entry,) = store.entries()
+        os.unlink(entry.path)
+        assert store.describe(entry) == {"missing": True}
+
+    def test_describe_garbage_entry_reports_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = entry_key({"family": "toy", "x": 5})
+        store.put(key, {"v": 5})
+        (entry,) = store.entries()
+        with open(entry.path, "w") as handle:
+            handle.write("{not json")
+        assert store.describe(entry) == {"corrupt": True}
